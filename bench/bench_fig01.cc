@@ -1,0 +1,81 @@
+// Fig. 1: motivating experiment.  48 Mbit/s link, 50 ms RTT, 100 ms buffer.
+// The protagonist runs for 180 s: elastic Cubic cross traffic in (30, 90) s,
+// then 24 Mbit/s inelastic Poisson cross traffic in (90, 150) s.
+//   (a) Cubic: fair rate but ~100 ms queueing throughout.
+//   (b) delay control (BasicDelay): low delay vs inelastic, throughput
+//       collapse vs elastic.
+//   (c) Nimbus: fair rate vs elastic AND low delay vs inelastic.
+#include "common.h"
+
+using namespace nimbus;
+using namespace nimbus::bench;
+
+namespace {
+
+struct PhaseStats {
+  double rate_elastic, delay_elastic;
+  double rate_inelastic, delay_inelastic;
+};
+
+PhaseStats run(const std::string& scheme) {
+  const double mu = 48e6;
+  auto net = make_net(mu, 2.0);
+  add_protagonist(*net, scheme, mu);
+  add_cubic_cross(*net, 2, from_sec(30), from_sec(90));
+  add_poisson_cross(*net, 3, 24e6, from_sec(90), from_sec(150));
+  const TimeNs end = from_sec(180);
+  net->run_until(end);
+
+  auto& rec = net->recorder();
+  // Per-second series the figure plots.
+  const auto rates =
+      rec.delivered(1).bucket_rates_bps(0, end, from_sec(1));
+  const auto delays =
+      rec.probed_queue_delay().bucket_means(0, end, from_sec(1));
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    row("fig01", scheme,
+        {static_cast<double>(i), rates[i] / 1e6, delays[i]});
+  }
+
+  PhaseStats s;
+  s.rate_elastic = rec.delivered(1).rate_bps(from_sec(40), from_sec(90)) / 1e6;
+  s.delay_elastic =
+      rec.probed_queue_delay().mean_in(from_sec(40), from_sec(90));
+  s.rate_inelastic =
+      rec.delivered(1).rate_bps(from_sec(100), from_sec(150)) / 1e6;
+  s.delay_inelastic =
+      rec.probed_queue_delay().mean_in(from_sec(100), from_sec(150));
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("fig01,scheme,second,rate_mbps,qdelay_ms\n");
+  const auto cubic = run("cubic");
+  const auto delay = run("basic-delay");
+  const auto nimbus = run("nimbus");
+
+  row("fig01", "summary_cubic",
+      {cubic.rate_elastic, cubic.delay_elastic, cubic.rate_inelastic,
+       cubic.delay_inelastic});
+  row("fig01", "summary_basic-delay",
+      {delay.rate_elastic, delay.delay_elastic, delay.rate_inelastic,
+       delay.delay_inelastic});
+  row("fig01", "summary_nimbus",
+      {nimbus.rate_elastic, nimbus.delay_elastic, nimbus.rate_inelastic,
+       nimbus.delay_inelastic});
+
+  // Paper's qualitative claims.
+  shape_check("fig01", cubic.delay_inelastic > 50,
+              "cubic keeps high delay even vs inelastic");
+  shape_check("fig01", delay.rate_elastic < 0.35 * 24.0,
+              "pure delay control collapses vs elastic cross traffic");
+  shape_check("fig01", delay.delay_inelastic < 30,
+              "pure delay control keeps low delay vs inelastic");
+  shape_check("fig01",
+              nimbus.rate_elastic > 2.5 * delay.rate_elastic &&
+                  nimbus.delay_inelastic < 0.5 * cubic.delay_inelastic,
+              "nimbus: fair rate vs elastic AND low delay vs inelastic");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fig. 7: the asymmetric sinusoidal pulse waveform, plus its invariants
+// (zero mean, amplitude ratio 3:1, burst size mu*T/(8*pi) bits).
+#include <cmath>
+
+#include "common.h"
+#include "core/pulse.h"
+
+using namespace nimbus;
+using namespace nimbus::bench;
+
+int main() {
+  const double mu = 96e6;
+  core::AsymmetricPulse pulse;
+  std::printf("fig07,phase_frac,offset_mbps\n");
+  double sum = 0, peak = -1e18, trough = 1e18;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    const TimeNs t = pulse.period() * i / n;
+    const double v = pulse.offset_bps(t, mu);
+    row("fig07", util::format_num(static_cast<double>(i) / n), {v / 1e6});
+    sum += v;
+    peak = std::max(peak, v);
+    trough = std::min(trough, v);
+  }
+  row("fig07", "summary",
+      {peak / 1e6, trough / 1e6, sum / n / 1e6,
+       pulse.burst_bytes(mu) / 1e3});
+  shape_check("fig07", std::abs(sum / n) < 0.001 * mu,
+              "pulse integrates to zero over one period");
+  shape_check("fig07", std::abs(peak / -trough - 3.0) < 0.01,
+              "positive amplitude is 3x the negative (mu/4 vs mu/12)");
+  shape_check("fig07",
+              std::abs(pulse.burst_bytes(mu) -
+                       mu * 0.2 / (8 * M_PI) / 8.0) < 1.0,
+              "burst bytes match mu*T/(8*pi) bits");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Fig. 8: the "visualizing Nimbus" experiment.  96 Mbit/s link, 50 ms RTT,
+// 2 BDP buffer, 180 s with a phase schedule of cross traffic (xM = Poisson
+// Mbit/s, yT = y long-running Cubic flows):
+//   0-20:16M/1T 20-40:32M/2T 40-60:0M/4T 60-80:0M/3T 80-100:0M/1T
+//   100-120:16M 120-140:32M 140-160:48M 160-180:16M
+// For each scheme: per-second throughput and queue delay, plus the phase
+// fair-share reference.
+#include "common.h"
+
+using namespace nimbus;
+using namespace nimbus::bench;
+
+namespace {
+
+struct Phase {
+  double poisson_mbps;
+  int cubic_flows;
+};
+
+const Phase kPhases[] = {{16, 1}, {32, 2}, {0, 4}, {0, 3}, {0, 1},
+                         {16, 0}, {32, 0}, {48, 0}, {16, 0}};
+constexpr double kMu = 96e6;
+
+double fair_share(const Phase& p) {
+  // Fair share for the protagonist: equal split of what's left after
+  // inelastic traffic, among the protagonist and elastic flows.
+  return (kMu - p.poisson_mbps * 1e6) / (p.cubic_flows + 1) / 1e6;
+}
+
+struct Result {
+  double mean_rate_deficit;   // mean |rate - fair| / fair across phases
+  double delay_inelastic_ms;  // mean queue delay in the Poisson-only phases
+};
+
+Result run(const std::string& scheme, TimeNs phase_len) {
+  auto net = make_net(kMu, 2.0);
+  add_protagonist(*net, scheme, kMu);
+  sim::FlowId next = 10;
+  for (int i = 0; i < 9; ++i) {
+    const TimeNs a = phase_len * i, b = phase_len * (i + 1);
+    if (kPhases[i].poisson_mbps > 0) {
+      add_poisson_cross(*net, next++, kPhases[i].poisson_mbps * 1e6, a, b);
+    }
+    for (int c = 0; c < kPhases[i].cubic_flows; ++c) {
+      add_cubic_cross(*net, next++, a, b);
+    }
+  }
+  const TimeNs end = phase_len * 9;
+  net->run_until(end);
+
+  auto& rec = net->recorder();
+  const auto rates = rec.delivered(1).bucket_rates_bps(0, end, from_sec(1));
+  const auto delays =
+      rec.probed_queue_delay().bucket_means(0, end, from_sec(1));
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const auto phase = std::min<std::size_t>(
+        i / static_cast<std::size_t>(to_sec(phase_len)), 8);
+    row("fig08", scheme,
+        {static_cast<double>(i), rates[i] / 1e6, delays[i],
+         fair_share(kPhases[phase])});
+  }
+
+  Result r{0, 0};
+  int n_inel = 0;
+  for (int i = 0; i < 9; ++i) {
+    const TimeNs a = phase_len * i + phase_len / 4, b = phase_len * (i + 1);
+    const double rate = rec.delivered(1).rate_bps(a, b) / 1e6;
+    const double fair = fair_share(kPhases[i]);
+    r.mean_rate_deficit += std::abs(rate - fair) / fair / 9.0;
+    if (kPhases[i].cubic_flows == 0) {
+      r.delay_inelastic_ms += rec.probed_queue_delay().mean_in(a, b);
+      ++n_inel;
+    }
+  }
+  r.delay_inelastic_ms /= n_inel;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const TimeNs phase_len = dur(20, 12);
+  std::printf("fig08,scheme,second,rate_mbps,qdelay_ms,fair_mbps\n");
+  const std::vector<std::string> schemes =
+      full_run() ? std::vector<std::string>{"nimbus", "nimbus-copa", "cubic",
+                                            "bbr", "vegas", "compound",
+                                            "copa", "vivace"}
+                 : std::vector<std::string>{"nimbus", "cubic", "vegas",
+                                            "copa"};
+  double nimbus_deficit = 0, nimbus_delay = 0;
+  double cubic_delay = 0, vegas_deficit = 0;
+  for (const auto& s : schemes) {
+    const auto r = run(s, phase_len);
+    row("fig08", "summary_" + s,
+        {r.mean_rate_deficit, r.delay_inelastic_ms});
+    if (s == "nimbus") {
+      nimbus_deficit = r.mean_rate_deficit;
+      nimbus_delay = r.delay_inelastic_ms;
+    }
+    if (s == "cubic") cubic_delay = r.delay_inelastic_ms;
+    if (s == "vegas") vegas_deficit = r.mean_rate_deficit;
+  }
+  shape_check("fig08", nimbus_delay < 0.5 * cubic_delay,
+              "nimbus delay vs inelastic phases well below cubic's");
+  shape_check("fig08", nimbus_deficit < vegas_deficit,
+              "nimbus tracks fair share better than vegas");
+  return 0;
+}

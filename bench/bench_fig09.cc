@@ -1,0 +1,67 @@
+// Fig. 9: WAN cross-traffic workload (heavy-tailed flow sizes at 50% load
+// on a 96 Mbit/s, 50 ms, 2 BDP link).  Rate and RTT CDFs per scheme:
+// Nimbus matches Cubic/BBR's throughput at ~50 ms lower median RTT; Vegas
+// and Copa lose throughput.
+#include "common.h"
+
+using namespace nimbus;
+using namespace nimbus::bench;
+
+namespace {
+
+struct Result {
+  util::Percentiles rate_mbps;
+  util::Percentiles rtt_ms;
+};
+
+Result run(const std::string& scheme, TimeNs duration) {
+  const double mu = 96e6;
+  auto net = make_net(mu, 2.0);
+  add_protagonist(*net, scheme, mu);
+  traffic::FlowWorkload::Config wc;
+  wc.offered_load_fraction = 0.5;
+  wc.seed = 99;
+  traffic::FlowWorkload wl(net.get(), wc);
+  net->run_until(duration);
+
+  Result r;
+  for (double v : exp::rate_series_mbps(net->recorder(), 1, from_sec(10),
+                                        duration)) {
+    r.rate_mbps.add(v);
+  }
+  r.rtt_ms.add_all(
+      net->recorder().rtt_samples(1).values_in(from_sec(10), duration));
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const TimeNs duration = dur(120, 45);
+  std::printf("fig09,series,scheme,x,cdf\n");
+  const std::vector<std::string> schemes =
+      full_run() ? std::vector<std::string>{"nimbus", "cubic", "bbr",
+                                            "vegas", "copa", "vivace"}
+                 : std::vector<std::string>{"nimbus", "cubic", "bbr",
+                                            "vegas"};
+  std::map<std::string, Result> results;
+  for (const auto& s : schemes) results.emplace(s, run(s, duration));
+
+  for (auto& [s, r] : results) {
+    exp::print_cdf("fig09,rate", s, r.rate_mbps);
+    exp::print_cdf("fig09,rtt", s, r.rtt_ms);
+    row("fig09", "summary_" + s,
+        {r.rate_mbps.mean(), r.rtt_ms.median(), r.rtt_ms.mean()});
+  }
+
+  const auto& nim = results.at("nimbus");
+  const auto& cub = results.at("cubic");
+  const auto& veg = results.at("vegas");
+  shape_check("fig09", nim.rate_mbps.mean() > 0.7 * cub.rate_mbps.mean(),
+              "nimbus throughput comparable to cubic");
+  shape_check("fig09", nim.rtt_ms.median() < cub.rtt_ms.median() - 15,
+              "nimbus median RTT well below cubic");
+  shape_check("fig09", veg.rate_mbps.mean() < nim.rate_mbps.mean(),
+              "vegas loses throughput relative to nimbus");
+  return 0;
+}

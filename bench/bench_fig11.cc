@@ -1,0 +1,61 @@
+// Fig. 11: video cross traffic on a 48 Mbit/s, 50 ms link.  A 1080p-like
+// stream (bitrate well below capacity) is application-limited (inelastic);
+// a 4K-like stream (bitrate near capacity) is network-limited (elastic).
+// Scatter of protagonist throughput vs mean delay per scheme.
+#include "common.h"
+
+#include "traffic/video_source.h"
+
+using namespace nimbus;
+using namespace nimbus::bench;
+
+namespace {
+
+struct Point {
+  double rate_mbps;
+  double mean_rtt_ms;
+};
+
+Point run(const std::string& scheme, double video_bitrate, TimeNs duration) {
+  const double mu = 48e6;
+  auto net = make_net(mu, 2.0);
+  add_protagonist(*net, scheme, mu);
+  traffic::VideoSource::Config vc;
+  vc.bitrate_bps = video_bitrate;
+  net->add_source(std::make_unique<traffic::VideoSource>(net.get(), vc));
+  net->run_until(duration);
+  const auto s =
+      exp::summarize_flow(net->recorder(), 1, from_sec(10), duration);
+  return {s.mean_rate_mbps, s.mean_rtt_ms};
+}
+
+}  // namespace
+
+int main() {
+  const TimeNs duration = dur(90, 40);
+  std::printf("fig11,quality,scheme,rate_mbps,mean_rtt_ms\n");
+  const std::vector<std::string> schemes =
+      full_run() ? std::vector<std::string>{"nimbus", "cubic", "bbr",
+                                            "vegas", "copa", "vivace"}
+                 : std::vector<std::string>{"nimbus", "cubic", "vegas",
+                                            "copa"};
+  std::map<std::string, Point> p1080, p4k;
+  for (const auto& s : schemes) {
+    p1080[s] = run(s, 8e6, duration);    // 1080p: app-limited
+    p4k[s] = run(s, 40e6, duration);     // 4K: network-limited
+    row("fig11", "1080p," + s, {p1080[s].rate_mbps, p1080[s].mean_rtt_ms});
+    row("fig11", "4k," + s, {p4k[s].rate_mbps, p4k[s].mean_rtt_ms});
+  }
+  shape_check("fig11",
+              p1080["nimbus"].rate_mbps > 0.75 * p1080["cubic"].rate_mbps &&
+                  p1080["nimbus"].mean_rtt_ms <
+                      p1080["cubic"].mean_rtt_ms - 10,
+              "1080p: nimbus matches cubic's rate at much lower delay");
+  shape_check("fig11",
+              p4k["vegas"].rate_mbps < 0.6 * p4k["nimbus"].rate_mbps,
+              "4k: vegas cannot compete with the elastic video");
+  shape_check("fig11",
+              p4k["nimbus"].rate_mbps > 0.5 * p4k["cubic"].rate_mbps,
+              "4k: nimbus keeps a cubic-like share vs elastic video");
+  return 0;
+}

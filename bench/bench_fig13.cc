@@ -1,0 +1,61 @@
+// Fig. 13: WAN workload at 50% and 90% offered load, Nimbus pulse sizes
+// 0.125*mu and 0.25*mu, vs Cubic and Vegas.  Nimbus lowers delay without
+// losing throughput; the benefit shrinks at high load.
+#include "common.h"
+
+using namespace nimbus;
+using namespace nimbus::bench;
+
+namespace {
+
+struct Point {
+  double mean_rate;
+  double median_rtt;
+};
+
+Point run(const std::string& scheme, double load, double pulse_frac,
+          TimeNs duration) {
+  const double mu = 96e6;
+  auto net = make_net(mu, 2.0);
+  if (scheme == "nimbus") {
+    core::Nimbus::Config cfg;
+    cfg.known_mu_bps = mu;
+    cfg.pulse_amplitude_frac = pulse_frac;
+    add_nimbus(*net, cfg);
+  } else {
+    add_protagonist(*net, scheme, mu);
+  }
+  traffic::FlowWorkload::Config wc;
+  wc.offered_load_fraction = load;
+  wc.seed = 31;
+  traffic::FlowWorkload wl(net.get(), wc);
+  net->run_until(duration);
+  const auto s =
+      exp::summarize_flow(net->recorder(), 1, from_sec(10), duration);
+  return {s.mean_rate_mbps, s.median_rtt_ms};
+}
+
+}  // namespace
+
+int main() {
+  const TimeNs duration = dur(120, 40);
+  std::printf("fig13,load,scheme,mean_rate_mbps,median_rtt_ms\n");
+  for (double load : {0.5, 0.9}) {
+    const auto cubic = run("cubic", load, 0, duration);
+    const auto vegas = run("vegas", load, 0, duration);
+    const auto nim25 = run("nimbus", load, 0.25, duration);
+    const auto nim125 = run("nimbus", load, 0.125, duration);
+    const std::string l = util::format_num(load);
+    row("fig13", l + ",cubic", {cubic.mean_rate, cubic.median_rtt});
+    row("fig13", l + ",vegas", {vegas.mean_rate, vegas.median_rtt});
+    row("fig13", l + ",nimbus0.25", {nim25.mean_rate, nim25.median_rtt});
+    row("fig13", l + ",nimbus0.125", {nim125.mean_rate, nim125.median_rtt});
+    if (load == 0.5) {
+      shape_check("fig13",
+                  nim25.median_rtt < cubic.median_rtt &&
+                      nim25.mean_rate > 0.6 * cubic.mean_rate,
+                  "load 50%: nimbus lowers delay at cubic-like rate");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fig. 16: multiple Nimbus flows arriving and leaving (no other cross
+// traffic).  Four flows start 120 s apart, each lasting 480 s; they share
+// the link fairly, keep at most one pulser, and hold low delays by staying
+// in delay mode.
+#include "common.h"
+
+using namespace nimbus;
+using namespace nimbus::bench;
+
+int main() {
+  const double mu = 96e6;
+  const bool full = full_run();
+  const TimeNs stagger = from_sec(full ? 120 : 30);
+  const TimeNs life = from_sec(full ? 480 : 120);
+  auto net = make_net(mu, 2.0);
+
+  std::vector<core::Nimbus*> flows;
+  for (int i = 0; i < 4; ++i) {
+    core::Nimbus::Config cfg;
+    cfg.known_mu_bps = mu;
+    cfg.multiflow = true;
+    auto algo = std::make_unique<core::Nimbus>(cfg);
+    flows.push_back(algo.get());
+    sim::TransportFlow::Config fc;
+    fc.id = static_cast<sim::FlowId>(i + 1);
+    fc.rtt_prop = from_ms(50);
+    fc.start_time = stagger * i;
+    fc.stop_time = stagger * i + life;
+    fc.seed = 100 + static_cast<std::uint64_t>(i);
+    net->add_flow(fc, std::move(algo));
+  }
+
+  // Sample roles over time on the simulation loop.
+  util::TimeSeries pulser_count;
+  std::function<void()> probe = [&]() {
+    int n = 0;
+    for (auto* f : flows) {
+      if (f->role() == core::Nimbus::Role::kPulser) ++n;
+    }
+    pulser_count.add(net->loop().now(), n);
+    net->loop().schedule_in(from_ms(500), probe);
+  };
+  net->loop().schedule_in(from_ms(500), probe);
+
+  const TimeNs end = stagger * 3 + life;
+  net->run_until(end);
+
+  std::printf("fig16,second,f1,f2,f3,f4,qdelay_ms,pulsers\n");
+  auto& rec = net->recorder();
+  const TimeNs step = from_sec(full ? 4 : 1);
+  for (TimeNs t = step; t < end; t += step) {
+    row("fig16", util::format_num(to_sec(t)),
+        {rec.delivered(1).rate_bps(t - step, t) / 1e6,
+         rec.delivered(2).rate_bps(t - step, t) / 1e6,
+         rec.delivered(3).rate_bps(t - step, t) / 1e6,
+         rec.delivered(4).rate_bps(t - step, t) / 1e6,
+         rec.probed_queue_delay().mean_in(t - step, t),
+         pulser_count.mean_in(t - step, t)});
+  }
+
+  // Fairness in the middle window where flows 1-3 are all active.
+  const TimeNs a = stagger * 2 + from_sec(10), b = stagger * 2 + life / 3;
+  std::vector<double> rates;
+  for (sim::FlowId id : {1u, 2u, 3u}) {
+    rates.push_back(rec.delivered(id).rate_bps(a, b));
+  }
+  const double jain = util::jain_fairness(rates);
+  const double mean_pulsers = pulser_count.mean_in(from_sec(20), end);
+  const double qd = rec.probed_queue_delay().mean_in(from_sec(20), end);
+  row("fig16", "summary", {jain, mean_pulsers, qd});
+  shape_check("fig16", jain > 0.8, "concurrent nimbus flows share fairly");
+  shape_check("fig16", mean_pulsers <= 1.5,
+              "roughly one pulser at a time");
+  shape_check("fig16", qd < 60,
+              "delays stay well below the 100 ms buffer");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 18: three example "Internet paths" (synthetic catalog; see
+// DESIGN.md substitution table): two deep-buffered paths where Nimbus
+// matches Cubic/BBR throughput at lower delay, and one lossy path where
+// Cubic collapses but Nimbus keeps throughput.
+#include "common.h"
+
+#include "exp/path_catalog.h"
+
+using namespace nimbus;
+using namespace nimbus::bench;
+
+int main() {
+  const TimeNs duration = dur(60, 30);
+  const auto paths = exp::internet_paths();
+  // deep-4 (96 Mbit/s, deep buffer), deep-2 (48, deep), lossy-2.
+  const std::vector<std::size_t> picks = {3, 1, 20};
+  std::printf("fig18,path,scheme,rate_mbps,mean_rtt_ms\n");
+  std::map<std::string, std::map<std::string, exp::FlowSummary>> all;
+  for (std::size_t pi : picks) {
+    const auto& path = paths[pi];
+    for (const std::string scheme : {"nimbus", "cubic", "bbr", "vegas"}) {
+      const auto s = exp::run_path(scheme, path, duration, 7);
+      all[path.name][scheme] = s;
+      row("fig18", path.name + "," + scheme,
+          {s.mean_rate_mbps, s.mean_rtt_ms});
+    }
+  }
+  const auto& deep = all[paths[picks[0]].name];
+  const auto& lossy = all[paths[picks[2]].name];
+  shape_check("fig18",
+              deep.at("nimbus").mean_rtt_ms <
+                      deep.at("cubic").mean_rtt_ms - 10 &&
+                  deep.at("nimbus").mean_rate_mbps >
+                      0.7 * deep.at("cubic").mean_rate_mbps,
+              "deep-buffer path: nimbus ~cubic rate at lower delay");
+  shape_check("fig18",
+              lossy.at("nimbus").mean_rate_mbps >
+                  lossy.at("cubic").mean_rate_mbps,
+              "lossy path: nimbus beats cubic");
+  return 0;
+}

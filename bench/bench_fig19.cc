@@ -1,0 +1,42 @@
+// Fig. 19: aggregate over the catalog's paths with queueing: Nimbus's
+// throughput tracks Cubic (within ~10% of BBR) while its RTT sits 40-50 ms
+// below Cubic/BBR.  CDFs of per-path mean rate and RTT per scheme.
+#include "common.h"
+
+#include "exp/path_catalog.h"
+
+using namespace nimbus;
+using namespace nimbus::bench;
+
+int main() {
+  const TimeNs duration = dur(60, 25);
+  const auto all_paths = exp::internet_paths();
+  std::vector<exp::PathConfig> paths;
+  for (const auto& p : all_paths) {
+    if (p.has_queueing) paths.push_back(p);
+  }
+  if (!full_run()) paths.resize(std::min<std::size_t>(paths.size(), 8));
+
+  std::printf("fig19,series,scheme,x,cdf\n");
+  std::map<std::string, util::Percentiles> rates, rtts;
+  for (const std::string scheme : {"nimbus", "cubic", "bbr", "vegas"}) {
+    for (const auto& p : paths) {
+      const auto s = exp::run_path(scheme, p, duration, 3);
+      rates[scheme].add(s.mean_rate_mbps);
+      rtts[scheme].add(s.mean_rtt_ms - to_ms(p.rtt));  // queueing delay
+    }
+    exp::print_cdf("fig19,rate", scheme, rates[scheme], 11);
+    exp::print_cdf("fig19,qdelay", scheme, rtts[scheme], 11);
+    row("fig19", "summary_" + scheme,
+        {rates[scheme].mean(), rtts[scheme].median()});
+  }
+  shape_check("fig19",
+              rates["nimbus"].mean() > 0.7 * rates["cubic"].mean(),
+              "nimbus throughput comparable to cubic across paths");
+  shape_check("fig19",
+              rtts["nimbus"].median() < rtts["cubic"].median() - 5,
+              "nimbus queueing delay clearly below cubic across paths");
+  shape_check("fig19", rates["vegas"].mean() < rates["nimbus"].mean(),
+              "vegas loses throughput on paths with elastic competition");
+  return 0;
+}

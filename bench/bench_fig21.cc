@@ -1,0 +1,79 @@
+// Fig. 21 (App. B): p95 flow-completion time of the WAN cross-flows by
+// size bucket, per protagonist scheme, normalized to Nimbus.  BBR inflates
+// cross-flow FCTs at all sizes; Cubic hurts short flows; Vegas is gentlest
+// but sacrifices its own rate.
+#include "common.h"
+
+using namespace nimbus;
+using namespace nimbus::bench;
+
+namespace {
+
+const char* bucket_name(std::int64_t bytes) {
+  if (bytes <= 15e3) return "15KB";
+  if (bytes <= 150e3) return "150KB";
+  if (bytes <= 1.5e6) return "1.5MB";
+  if (bytes <= 15e6) return "15MB";
+  return "150MB";
+}
+
+std::map<std::string, double> run(const std::string& scheme,
+                                  TimeNs duration) {
+  const double mu = 96e6;
+  auto net = make_net(mu, 2.0);
+  add_protagonist(*net, scheme, mu);
+  traffic::FlowWorkload::Config wc;
+  wc.offered_load_fraction = 0.5;
+  wc.seed = 2024;
+  traffic::FlowWorkload wl(net.get(), wc);
+  net->run_until(duration);
+
+  std::map<std::string, util::Percentiles> byBucket;
+  for (const auto& c : net->recorder().completions()) {
+    byBucket[bucket_name(c.bytes)].add(to_sec(c.fct));
+  }
+  std::map<std::string, double> p95;
+  for (auto& [name, p] : byBucket) {
+    if (p.count() >= 5) p95[name] = p.percentile(0.95);
+  }
+  return p95;
+}
+
+}  // namespace
+
+int main() {
+  const TimeNs duration = dur(120, 50);
+  std::printf("fig21,bucket,scheme,p95_fct_s,normalized_to_nimbus\n");
+  const std::vector<std::string> schemes =
+      full_run() ? std::vector<std::string>{"nimbus", "cubic", "bbr",
+                                            "vegas", "copa"}
+                 : std::vector<std::string>{"nimbus", "cubic", "bbr",
+                                            "vegas"};
+  std::map<std::string, std::map<std::string, double>> all;
+  for (const auto& s : schemes) all[s] = run(s, duration);
+
+  bool bbr_worse_somewhere = false;
+  bool nimbus_not_worst_short = true;
+  for (const auto& bucket : {"15KB", "150KB", "1.5MB", "15MB", "150MB"}) {
+    const auto nim = all["nimbus"].find(bucket);
+    if (nim == all["nimbus"].end()) continue;
+    for (const auto& s : schemes) {
+      const auto it = all[s].find(bucket);
+      if (it == all[s].end()) continue;
+      row("fig21", std::string(bucket) + "," + s,
+          {it->second, it->second / nim->second});
+      if (s == "bbr" && it->second > 1.2 * nim->second) {
+        bbr_worse_somewhere = true;
+      }
+      if (s == "cubic" && std::string(bucket) == "15KB" &&
+          it->second < nim->second * 0.8) {
+        nimbus_not_worst_short = false;
+      }
+    }
+  }
+  shape_check("fig21", bbr_worse_somewhere,
+              "BBR inflates cross-flow FCTs relative to nimbus");
+  shape_check("fig21", nimbus_not_worst_short,
+              "nimbus does not hurt short cross-flows more than cubic");
+  return 0;
+}

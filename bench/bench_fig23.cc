@@ -1,0 +1,59 @@
+// Fig. 23 (App. D.1): Copa vs Nimbus against CBR cross traffic at 24 and
+// 80 Mbit/s on a 96 Mbit/s link.  At 24M both hold low delay; at 80M Copa
+// misclassifies (cannot drain the queue in 5 RTTs), turns competitive and
+// drives delay up, while Nimbus stays in delay mode at low delay.
+#include "common.h"
+
+#include "cc/copa.h"
+
+using namespace nimbus;
+using namespace nimbus::bench;
+
+namespace {
+
+struct Result {
+  double rate_mbps;
+  double qdelay_ms;
+};
+
+Result run(const std::string& scheme, double cbr_rate, TimeNs duration) {
+  const double mu = 96e6;
+  auto net = make_net(mu, 2.0);
+  add_protagonist(*net, scheme, mu);
+  add_cbr_cross(*net, 2, cbr_rate);
+  net->run_until(duration);
+  auto& rec = net->recorder();
+  // Emit the time series panels.
+  for (TimeNs t = from_sec(1); t < duration; t += from_sec(1)) {
+    row("fig23",
+        scheme + "," + util::format_num(cbr_rate / 1e6) + "," +
+            util::format_num(to_sec(t)),
+        {rec.delivered(1).rate_bps(t - from_sec(1), t) / 1e6,
+         rec.probed_queue_delay().mean_in(t - from_sec(1), t)});
+  }
+  return {rec.delivered(1).rate_bps(from_sec(10), duration) / 1e6,
+          rec.probed_queue_delay().mean_in(from_sec(10), duration)};
+}
+
+}  // namespace
+
+int main() {
+  const TimeNs duration = dur(60, 40);
+  std::printf("fig23,scheme,cbr_mbps,second,rate_mbps,qdelay_ms\n");
+  const auto copa_lo = run("copa", 24e6, duration);
+  const auto nim_lo = run("nimbus", 24e6, duration);
+  const auto copa_hi = run("copa", 80e6, duration);
+  const auto nim_hi = run("nimbus", 80e6, duration);
+  row("fig23", "summary_24M",
+      {copa_lo.rate_mbps, copa_lo.qdelay_ms, nim_lo.rate_mbps,
+       nim_lo.qdelay_ms});
+  row("fig23", "summary_80M",
+      {copa_hi.rate_mbps, copa_hi.qdelay_ms, nim_hi.rate_mbps,
+       nim_hi.qdelay_ms});
+  shape_check("fig23", copa_lo.qdelay_ms < 40 && nim_lo.qdelay_ms < 40,
+              "24M CBR: both keep low delay");
+  shape_check("fig23", nim_hi.qdelay_ms < copa_hi.qdelay_ms,
+              "80M CBR: copa's misclassification raises its delay above "
+              "nimbus's");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Microbenchmarks (google-benchmark) for the primitives on the simulator's
+// and detector's hot paths: FFT (radix-2 and Bluestein), Goertzel, the
+// elasticity evaluation, the event loop, queue disciplines, and a full
+// packet-level simulation second.
+#include <benchmark/benchmark.h>
+
+#include "cc/cubic.h"
+#include "core/elasticity.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+#include "spectral/fft.h"
+#include "spectral/goertzel.h"
+#include "util/rng.h"
+
+namespace nimbus {
+namespace {
+
+std::vector<double> random_signal(std::size_t n) {
+  util::Rng rng(5);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(-1, 1);
+  return v;
+}
+
+void BM_FftRadix2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<spectral::Complex> data(n);
+  util::Rng rng(7);
+  for (auto& c : data) c = {rng.uniform(-1, 1), 0.0};
+  for (auto _ : state) {
+    auto copy = data;
+    spectral::fft_radix2(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_FftRadix2)->Arg(256)->Arg(512)->Arg(4096);
+
+void BM_FftBluestein500(benchmark::State& state) {
+  const auto sig = random_signal(500);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spectral::magnitude_spectrum(sig));
+  }
+}
+BENCHMARK(BM_FftBluestein500);
+
+void BM_Goertzel500(benchmark::State& state) {
+  const auto sig = random_signal(500);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spectral::goertzel_magnitude(sig, 25));
+  }
+}
+BENCHMARK(BM_Goertzel500);
+
+void BM_ElasticityEvaluate(benchmark::State& state) {
+  core::ElasticityDetector det;
+  util::Rng rng(3);
+  for (int i = 0; i < 500; ++i) det.add_sample(rng.uniform(0, 1e8));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.evaluate(5.0));
+  }
+}
+BENCHMARK(BM_ElasticityEvaluate);
+
+void BM_EventLoopScheduleFire(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    int count = 0;
+    for (int i = 0; i < 1000; ++i) {
+      loop.schedule(from_ms(i), [&count]() { ++count; });
+    }
+    loop.run();
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_EventLoopScheduleFire);
+
+void BM_DropTailEnqueueDequeue(benchmark::State& state) {
+  sim::DropTailQueue q(1 << 24);
+  sim::Packet p;
+  p.size_bytes = 1500;
+  for (auto _ : state) {
+    q.enqueue(p, 0);
+    benchmark::DoNotOptimize(q.dequeue(0));
+  }
+}
+BENCHMARK(BM_DropTailEnqueueDequeue);
+
+void BM_SimulatedSecondCubic(benchmark::State& state) {
+  // Cost of simulating one second of a saturated 96 Mbit/s link.
+  for (auto _ : state) {
+    sim::Network net(96e6, 1 << 21);
+    sim::TransportFlow::Config fc;
+    fc.id = 1;
+    fc.rtt_prop = from_ms(50);
+    net.add_flow(fc, std::make_unique<cc::Cubic>());
+    net.run_until(from_sec(1));
+    benchmark::DoNotOptimize(net.recorder().delivered(1).total());
+  }
+}
+BENCHMARK(BM_SimulatedSecondCubic)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace nimbus
+
+BENCHMARK_MAIN();

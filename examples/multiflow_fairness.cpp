@@ -1,0 +1,62 @@
+// Multi-flow coordination (paper section 6 / Fig. 16): several Nimbus
+// flows share a bottleneck using the pulser/watcher protocol — one flow
+// pulses, the rest read its mode from the FFT of their own receive rate,
+// with a decentralized election and no explicit communication.
+//
+//   $ ./examples/multiflow_fairness [n_flows]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/nimbus.h"
+#include "sim/network.h"
+#include "util/stats.h"
+
+using namespace nimbus;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 3;
+  const double mu = 96e6;
+  sim::Network net(mu, sim::buffer_bytes_for_bdp(mu, from_ms(50), 2.0));
+
+  std::vector<core::Nimbus*> flows;
+  for (int i = 0; i < n; ++i) {
+    core::Nimbus::Config cfg;
+    cfg.known_mu_bps = mu;
+    cfg.multiflow = true;  // enable the pulser/watcher protocol
+    auto algo = std::make_unique<core::Nimbus>(cfg);
+    flows.push_back(algo.get());
+    sim::TransportFlow::Config fc;
+    fc.id = static_cast<sim::FlowId>(i + 1);
+    fc.rtt_prop = from_ms(50);
+    fc.seed = 100 + static_cast<std::uint64_t>(i);
+    net.add_flow(fc, std::move(algo));
+  }
+
+  std::printf("time   roles   modes   rates (Mbps)%*s  qdelay  Jain\n",
+              4 * n - 12 > 0 ? 4 * n - 12 : 0, "");
+  for (int t = 10; t <= 120; t += 10) {
+    net.run_until(from_sec(t));
+    const TimeNs a = from_sec(t - 10), b = from_sec(t);
+    std::string roles, modes;
+    std::vector<double> rates;
+    for (int i = 0; i < n; ++i) {
+      roles += flows[i]->role() == core::Nimbus::Role::kPulser ? 'P' : 'w';
+      modes += flows[i]->mode() == core::Nimbus::Mode::kDelay ? 'd' : 'C';
+      rates.push_back(net.recorder()
+                          .delivered(static_cast<sim::FlowId>(i + 1))
+                          .rate_bps(a, b));
+    }
+    std::printf("%3d s  %-6s  %-6s  ", t, roles.c_str(), modes.c_str());
+    for (double r : rates) std::printf("%5.1f ", r / 1e6);
+    std::printf(" %5.1f ms  %.2f\n",
+                net.recorder().probed_queue_delay().mean_in(a, b),
+                util::jain_fairness(rates));
+  }
+  std::printf(
+      "\nExpected shape: exactly one 'P' (pulser) after the election\n"
+      "settles, all flows in 'd' (delay mode) with ~13 ms of queueing,\n"
+      "fair sharing (Jain index near 1), and full link utilization —\n"
+      "coordination without any explicit communication channel.\n");
+  return 0;
+}

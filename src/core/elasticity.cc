@@ -1,0 +1,101 @@
+#include "core/elasticity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spectral/fft.h"
+#include "spectral/goertzel.h"
+#include "util/check.h"
+
+namespace nimbus::core {
+
+SlidingSignal::SlidingSignal(std::size_t capacity) : capacity_(capacity) {
+  NIMBUS_CHECK(capacity_ > 0);
+}
+
+void SlidingSignal::add(double v) {
+  buf_.push_back(v);
+  if (buf_.size() > capacity_) buf_.pop_front();
+}
+
+std::vector<double> SlidingSignal::snapshot() const {
+  return {buf_.begin(), buf_.end()};
+}
+
+ElasticityDetector::ElasticityDetector() : ElasticityDetector(Config()) {}
+
+ElasticityDetector::ElasticityDetector(const Config& config)
+    : cfg_(config),
+      signal_(static_cast<std::size_t>(config.sample_rate_hz *
+                                       config.duration_sec)) {
+  NIMBUS_CHECK(cfg_.sample_rate_hz > 0 && cfg_.duration_sec > 0);
+}
+
+void ElasticityDetector::add_sample(double value) { signal_.add(value); }
+
+std::vector<double> ElasticityDetector::windowed_snapshot() const {
+  std::vector<double> x = signal_.snapshot();
+  spectral::remove_mean(x);
+  spectral::apply_window(x, cfg_.window);
+  return x;
+}
+
+ElasticityDetector::Result ElasticityDetector::evaluate(
+    double f_pulse_hz) const {
+  Result r;
+  if (!ready()) return r;
+  r.valid = true;
+
+  const std::vector<double> x = windowed_snapshot();
+  const std::size_t n = x.size();
+  const double fs = cfg_.sample_rate_hz;
+  auto bin_freq = [&](std::size_t k) {
+    return spectral::bin_frequency(k, n, fs);
+  };
+
+  // Numerator: strongest bin within tolerance of f_p.
+  const std::size_t center = spectral::frequency_bin(f_pulse_hz, n, fs);
+  double num = 0.0;
+  for (std::size_t k = (center > 2 ? center - 2 : 1); k <= center + 2; ++k) {
+    if (std::abs(bin_freq(k) - f_pulse_hz) <= cfg_.tolerance_hz + 1e-9) {
+      num = std::max(num, spectral::goertzel_magnitude(x, k));
+    }
+  }
+  r.pulse_magnitude = num;
+
+  // Denominator: peak strictly inside (f_p + tol, 2 f_p).
+  const std::size_t lo =
+      spectral::frequency_bin(f_pulse_hz + cfg_.tolerance_hz, n, fs);
+  const std::size_t hi = spectral::frequency_bin(2.0 * f_pulse_hz, n, fs);
+  double denom = 0.0;
+  for (std::size_t k = lo; k <= hi; ++k) {
+    const double f = bin_freq(k);
+    if (f > f_pulse_hz + cfg_.tolerance_hz && f < 2.0 * f_pulse_hz) {
+      denom = std::max(denom, spectral::goertzel_magnitude(x, k));
+    }
+  }
+
+  r.eta = denom > 0.0 ? num / denom : (num > 0.0 ? 1e9 : 0.0);
+  r.elastic = r.eta >= cfg_.eta_threshold;
+  return r;
+}
+
+double ElasticityDetector::magnitude_near(double f_hz) const {
+  if (!ready()) return 0.0;
+  const std::vector<double> x = windowed_snapshot();
+  const std::size_t n = x.size();
+  const std::size_t center =
+      spectral::frequency_bin(f_hz, n, cfg_.sample_rate_hz);
+  double best = 0.0;
+  for (std::size_t k = (center > 1 ? center - 1 : 1); k <= center + 1; ++k) {
+    best = std::max(best, spectral::goertzel_magnitude(x, k));
+  }
+  return best;
+}
+
+spectral::Spectrum ElasticityDetector::full_spectrum() const {
+  return spectral::analyze(signal_.snapshot(), cfg_.sample_rate_hz,
+                           cfg_.window);
+}
+
+}  // namespace nimbus::core

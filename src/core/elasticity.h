@@ -1,0 +1,97 @@
+// The elasticity detector (paper sections 3.3-3.4).
+//
+// The sender samples the cross-traffic estimate z(t) every report interval
+// (10 ms), keeps the last FFT-duration (5 s) of samples, and computes the
+// elasticity metric
+//
+//   eta = |FFT_z(f_p)| / max_{f in (f_p, 2 f_p)} |FFT_z(f)|      (Eq. 3)
+//
+// Cross traffic is declared elastic iff eta >= eta_threshold (2).
+//
+// The same machinery, pointed at a watcher's receive rate R(t), detects
+// which frequency a concurrent pulser is using (section 6).
+//
+// Implementation notes: with a 5 s window at 100 Hz, N = 500 and both pulse
+// frequencies (5 and 6 Hz) land on exact bins (25 and 30).  The band query
+// only needs ~26 bins, so eta is evaluated with Goertzel (O(bins*N)) rather
+// than a full FFT; full_spectrum() runs the Bluestein FFT for diagnostics
+// and figure reproduction.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "spectral/spectrum.h"
+#include "spectral/window.h"
+
+namespace nimbus::core {
+
+/// Fixed-capacity sliding window of uniformly sampled values.
+class SlidingSignal {
+ public:
+  explicit SlidingSignal(std::size_t capacity);
+
+  void add(double v);
+  bool full() const { return buf_.size() == capacity_; }
+  std::size_t size() const { return buf_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  void clear() { buf_.clear(); }
+
+  /// Oldest-to-newest copy of the window.
+  std::vector<double> snapshot() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> buf_;
+};
+
+class ElasticityDetector {
+ public:
+  struct Config {
+    double sample_rate_hz = 100.0;  // one sample per 10 ms report
+    double duration_sec = 5.0;      // FFT window (paper: 5 s)
+    double eta_threshold = 2.0;     // paper section 3.4
+    /// Bins within this distance of f_p count toward the numerator peak
+    /// (windowing spreads an exact-bin tone into its neighbours).
+    double tolerance_hz = 0.25;
+    spectral::WindowType window = spectral::WindowType::kHann;
+  };
+
+  struct Result {
+    double eta = 0.0;
+    bool elastic = false;
+    double pulse_magnitude = 0.0;  // |FFT| near f_p (for pulser conflict
+                                   // detection and diagnostics)
+    bool valid = false;            // window was full
+  };
+
+  ElasticityDetector();
+  explicit ElasticityDetector(const Config& config);
+
+  /// Adds one z (or R) sample; call at the configured sample rate.
+  void add_sample(double value);
+  bool ready() const { return signal_.full(); }
+  std::size_t window_samples() const { return signal_.capacity(); }
+  void reset() { signal_.clear(); }
+
+  /// Evaluates Eq. (3) for a pulse at f_pulse_hz.
+  Result evaluate(double f_pulse_hz) const;
+
+  /// Magnitude of the signal's spectrum near frequency f (numerator of
+  /// eta); used by watchers/pulser-conflict checks.
+  double magnitude_near(double f_hz) const;
+
+  /// Full magnitude spectrum of the current window (diagnostics, Fig. 5).
+  spectral::Spectrum full_spectrum() const;
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  std::vector<double> windowed_snapshot() const;
+
+  Config cfg_;
+  SlidingSignal signal_;
+};
+
+}  // namespace nimbus::core

@@ -1,0 +1,21 @@
+#include "core/estimators.h"
+
+#include <algorithm>
+
+namespace nimbus::core {
+
+double estimate_cross_rate(double mu_bps, double send_rate_bps,
+                           double recv_rate_bps) {
+  if (mu_bps <= 0 || send_rate_bps <= 0 || recv_rate_bps <= 0) return 0.0;
+  const double z = mu_bps * send_rate_bps / recv_rate_bps - send_rate_bps;
+  return std::max(z, 0.0);
+}
+
+MuEstimator::MuEstimator(TimeNs window) : max_r_(window) {}
+
+void MuEstimator::on_receive_rate(TimeNs now, double recv_rate_bps) {
+  if (recv_rate_bps <= 0) return;
+  max_r_.update(now, recv_rate_bps);
+}
+
+}  // namespace nimbus::core

@@ -1,0 +1,37 @@
+// Cross-traffic rate estimation (paper section 3.1) and bottleneck-rate
+// estimation (section 4.2).
+#pragma once
+
+#include "util/time.h"
+#include "util/windowed_filter.h"
+
+namespace nimbus::core {
+
+/// Eq. (1):  z(t) = µ * S(t)/R(t) - S(t).
+///
+/// Valid while the bottleneck queue is non-empty and the router serves all
+/// traffic FIFO: the receiver's share R/µ then equals the sender's share of
+/// the arriving traffic S/(S+z).  Returns 0 if inputs are degenerate and
+/// clamps small negative estimates (R slightly above the µ*S/(S+z) ideal
+/// due to measurement noise) to zero.
+double estimate_cross_rate(double mu_bps, double send_rate_bps,
+                           double recv_rate_bps);
+
+/// Bottleneck link-rate estimator: windowed maximum of the measured receive
+/// rate (the approach BBR uses, section 4.2 of the paper).  Because R is
+/// measured over a whole window of packets (Eq. 2), ACK compression bursts
+/// are already smoothed out.
+class MuEstimator {
+ public:
+  explicit MuEstimator(TimeNs window = from_sec(30));
+
+  void on_receive_rate(TimeNs now, double recv_rate_bps);
+  /// Best estimate; returns 0 until the first sample.
+  double mu_bps() const { return max_r_.get_unexpired(); }
+  bool valid() const { return !max_r_.empty(); }
+
+ private:
+  util::WindowedMax max_r_;
+};
+
+}  // namespace nimbus::core

@@ -1,0 +1,219 @@
+// Nimbus: mode-switching congestion control driven by elasticity detection
+// (paper section 4), including the multi-flow pulser/watcher protocol
+// (section 6).
+//
+// Single flow (multiflow = false): the flow is always the pulser.  Every
+// report it estimates the cross-traffic rate z (Eq. 1), feeds the
+// elasticity detector, and picks:
+//   * TCP-competitive mode (inner Cubic or NewReno, rate = cwnd/sRTT) when
+//     the cross traffic is elastic (eta >= 2), or
+//   * delay-control mode (BasicDelay Eq. 4, Vegas, or Copa default mode)
+//     when it is inelastic.
+// On a switch to competitive mode the rate is reset to its value one FFT
+// duration (5 s) ago, undoing the decay the delay controller suffered while
+// the detector was catching up (section 4.1).  The pacing rate is modulated
+// with the asymmetric sinusoidal pulse at f_pc = 5 Hz (competitive) or
+// f_pd = 6 Hz (delay mode).
+//
+// Multiple flows (multiflow = true): flows start as watchers.  A watcher
+// looks for pulses in the FFT of its own receive rate at the two agreed
+// frequencies, copies the mode of the stronger peak, and low-pass-filters
+// its own sending rate below the pulse frequencies so it never confuses the
+// pulser.  If no pulser is heard, it volunteers as pulser with probability
+// kappa*(tau/FFT duration)*(R_i/mu) per decision (Eq. 5).  A pulser that
+// sees more variation in the cross traffic at its pulse frequency than it
+// itself creates concludes another pulser exists and steps down with a
+// fixed probability.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cc/cubic.h"
+#include "cc/copa.h"
+#include "cc/reno.h"
+#include "cc/vegas.h"
+#include "core/basic_delay.h"
+#include "core/elasticity.h"
+#include "core/estimators.h"
+#include "core/pulse.h"
+#include "sim/cc_interface.h"
+#include "util/ewma.h"
+
+namespace nimbus::core {
+
+class Nimbus final : public sim::CcAlgorithm {
+ public:
+  enum class Mode { kDelay, kCompetitive };
+  enum class Role { kPulser, kWatcher };
+  enum class DelayAlgo { kBasicDelay, kVegas, kCopa };
+  enum class CompetitiveAlgo { kCubic, kReno };
+
+  struct Config {
+    /// Bottleneck rate if known (controlled experiments, sections 8.2/8.3);
+    /// 0 = estimate online from the peak receive rate.
+    double known_mu_bps = 0.0;
+    double pulse_amplitude_frac = 0.25;
+    double fp_competitive_hz = 5.0;
+    double fp_delay_hz = 6.0;
+    double sample_rate_hz = 100.0;   // = 1 / transport report interval
+    double fft_duration_sec = 5.0;
+    double eta_threshold = 2.0;
+    DelayAlgo delay_algo = DelayAlgo::kBasicDelay;
+    CompetitiveAlgo competitive_algo = CompetitiveAlgo::kCubic;
+    BasicDelayCore::Params basic_delay;
+
+    // Multi-flow coordination (section 6).
+    bool multiflow = false;
+    double kappa = 0.5;               // expected pulsers per FFT duration
+    double watcher_cutoff_hz = 0.35;   // low-pass well below min(f_pc,
+                                      // f_pd): the watcher's delay rule
+                                      // reacts to the pulser's queue
+                                      // oscillation, and residual pulse-
+                                      // frequency energy in watcher rates
+                                      // reads as elastic cross traffic
+    double pulser_presence_eta = 2.0;
+    double conflict_margin = 0.95;    // two same-frequency pulsers see
+                                      // z-peak ~ own R-peak (parity); an
+                                      // elastic response alone stays well
+                                      // below the pulser's own peak
+    double conflict_switch_prob = 0.1;
+    /// Reports the conflict condition must hold continuously before the
+    /// demotion lottery runs: transient cross-traffic spikes (a cubic
+    /// slow-start overshoot) can match the condition for a few hundred
+    /// milliseconds and must not cost the link its only pulser.
+    int conflict_persistence_reports = 150;
+
+    bool start_in_delay_mode = true;
+
+    /// Time constant (seconds) of the EWMA applied to eta before the mode
+    /// decision; 0 decides on the raw per-report eta.  The raw metric is
+    /// noisy near the threshold (the z estimate carries measurement
+    /// sidebands), and a ~1 s smoothing keeps mode decisions stable while
+    /// staying well inside the 5 s detection budget.
+    double eta_smoothing_tau_sec = 1.0;
+
+    /// Hysteresis: leave competitive mode only when the smoothed eta falls
+    /// below eta_threshold / this factor.  Near-threshold measurement
+    /// noise otherwise flaps the mode, and every trip through delay mode
+    /// costs throughput against elastic cross traffic.
+    double exit_hysteresis = 1.25;
+
+    /// Cross traffic below this fraction of mu is treated as absent: eta
+    /// is a ratio of spectral peaks and becomes a noise/noise ratio when
+    /// z ~ 0 (e.g. a solo flow whose own pulse troughs briefly empty the
+    /// queue), so an insignificant z is classified inelastic directly.
+    double z_significance_frac = 0.05;
+
+    /// S/R are measured over min(sRTT, pulse period / this divisor) of
+    /// data.  Longer windows average the pulse response out of z
+    /// (attenuation); shorter windows raise the estimator's noise floor
+    /// inside the comparison band.  2 balances the two (tuned empirically
+    /// in the forced-delay worst case).
+    double measurement_window_divisor = 2.0;
+
+    // Ablation hooks.
+    bool enable_pulses = true;
+    bool enable_rate_reset = true;
+  };
+
+  /// Periodic status snapshot for experiment harnesses.
+  struct Status {
+    TimeNs now = 0;
+    Mode mode = Mode::kDelay;
+    Role role = Role::kPulser;
+    double eta = 0.0;       // smoothed (decision) eta
+    double eta_raw = 0.0;    // latest single-window eta
+    bool detector_ready = false;
+    double z_bps = 0.0;
+    double mu_bps = 0.0;
+    double base_rate_bps = 0.0;
+  };
+  using StatusHandler = std::function<void(const Status&)>;
+
+  Nimbus();
+  explicit Nimbus(const Config& config);
+
+  std::string name() const override { return "nimbus"; }
+  void init(sim::CcContext& ctx) override;
+  void on_ack(sim::CcContext& ctx, const sim::AckInfo& ack) override;
+  void on_loss(sim::CcContext& ctx, const sim::LossInfo& loss) override;
+  void on_rto(sim::CcContext& ctx) override;
+  void on_report(sim::CcContext& ctx, const sim::CcReport& report) override;
+
+  void set_status_handler(StatusHandler h) { on_status_ = std::move(h); }
+
+  Mode mode() const { return mode_; }
+  Role role() const { return role_; }
+  double last_eta() const { return last_eta_; }
+  double last_z_bps() const { return last_z_; }
+  double mu_bps() const { return last_mu_; }
+  double base_rate_bps() const { return base_rate_bps_; }
+  const ElasticityDetector& detector() const { return detector_; }
+  const Config& config() const { return cfg_; }
+
+ private:
+  double current_fp() const;
+  void decide_mode_from_detector(sim::CcContext& ctx);
+  void switch_mode(sim::CcContext& ctx, Mode to);
+  void watcher_logic(sim::CcContext& ctx, const sim::CcReport& report);
+  void pulser_conflict_check(sim::CcContext& ctx);
+  double delay_mode_rate(sim::CcContext& ctx) const;
+  double competitive_mode_rate(sim::CcContext& ctx) const;
+  void record_rate(TimeNs now, double rate);
+  double rate_at(TimeNs when) const;
+  void apply_control(sim::CcContext& ctx, const sim::CcReport& report);
+
+  Config cfg_;
+  Mode mode_ = Mode::kDelay;
+  Role role_ = Role::kPulser;
+
+  AsymmetricPulse pulse_;
+  ElasticityDetector detector_;   // of z(t)
+  ElasticityDetector recv_watch_; // of R(t): watcher + conflict detection
+  MuEstimator mu_est_;
+
+  // Inner algorithms.
+  cc::CubicCore cubic_;
+  cc::RenoCore reno_;
+  cc::VegasCore vegas_;
+  cc::CopaCore copa_;
+  BasicDelayCore basic_delay_;
+
+  util::TimeEwma watcher_filter_;
+  util::TimeEwma eta_filter_;
+  // RTT smoothed well below the pulse frequency: rate<->window conversions
+  // must not use an RTT that itself oscillates at f_p, or the product
+  // creates a 2*f_p component in the emitted pulse.
+  util::TimeEwma srtt_filter_{0.5};
+  double srtt_smooth_s_ = 0.05;
+
+  std::deque<std::pair<TimeNs, double>> rate_history_;
+  double base_rate_bps_ = 0.0;
+  double last_eta_ = 0.0;      // smoothed
+  double last_raw_eta_ = 0.0;
+  util::TimeEwma z_mean_filter_{1.0};
+  // Watcher-mode measurement filters: a watcher's delay rule must not see
+  // the pulser's oscillation in its inputs (z and RTT), or its rate output
+  // reacts at the pulse frequency and reads as elastic cross traffic to
+  // the pulser.  One-pole filters at tau = 1 s attenuate 5-6 Hz ~40x.
+  util::TimeEwma watcher_z_filter_{1.5};
+  util::TimeEwma watcher_rtt_filter_{1.5};
+  int conflict_streak_ = 0;
+  // Set when the conflict rule demotes us: if by this deadline no other
+  // pulser is audible, the demotion was a false alarm (a strong elastic
+  // response can mimic a concurrent pulser) and we resume pulsing.
+  TimeNs resume_check_at_ = 0;
+  double last_z_ = 0.0;
+  double last_mu_ = 0.0;
+
+  StatusHandler on_status_;
+};
+
+/// Human-readable labels (bench output).
+const char* to_string(Nimbus::Mode mode);
+const char* to_string(Nimbus::Role role);
+
+}  // namespace nimbus::core

@@ -1,0 +1,75 @@
+#include "exp/ground_truth.h"
+
+#include <memory>
+
+#include "util/check.h"
+
+namespace nimbus::exp {
+
+void GroundTruth::add_interval(TimeNs t0, TimeNs t1, bool elastic) {
+  NIMBUS_CHECK(t1 > t0);
+  intervals_.push_back({t0, t1, elastic});
+}
+
+bool GroundTruth::elastic_at(TimeNs t) const {
+  for (const auto& iv : intervals_) {
+    if (t >= iv.t0 && t < iv.t1) return iv.elastic;
+  }
+  return false;
+}
+
+double ModeLog::accuracy(const GroundTruth& truth, TimeNs t0,
+                         TimeNs t1) const {
+  const auto& times = series_.times();
+  const auto& values = series_.values();
+  std::size_t total = 0, correct = 0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (times[i] < t0 || times[i] >= t1) continue;
+    ++total;
+    const bool competitive = values[i] > 0.5;
+    if (competitive == truth.elastic_at(times[i])) ++correct;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) /
+                          static_cast<double>(total);
+}
+
+double ModeLog::fraction_competitive(TimeNs t0, TimeNs t1) const {
+  const auto& times = series_.times();
+  const auto& values = series_.values();
+  std::size_t total = 0, comp = 0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (times[i] < t0 || times[i] >= t1) continue;
+    ++total;
+    if (values[i] > 0.5) ++comp;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(comp) / static_cast<double>(total);
+}
+
+void attach_nimbus_logger(core::Nimbus* nimbus, ModeLog* mode_log,
+                          util::TimeSeries* eta_log,
+                          util::TimeSeries* z_log) {
+  NIMBUS_CHECK(nimbus != nullptr);
+  nimbus->set_status_handler(
+      [mode_log, eta_log, z_log](const core::Nimbus::Status& s) {
+        if (mode_log) {
+          mode_log->add(s.now, s.mode == core::Nimbus::Mode::kCompetitive);
+        }
+        if (eta_log && s.detector_ready) eta_log->add(s.now, s.eta);
+        if (z_log) z_log->add(s.now, s.z_bps);
+      });
+}
+
+void attach_copa_poller(sim::Network* net, const cc::Copa* copa,
+                        ModeLog* mode_log, TimeNs interval) {
+  NIMBUS_CHECK(net != nullptr && copa != nullptr && mode_log != nullptr);
+  auto poll = std::make_shared<std::function<void()>>();
+  *poll = [net, copa, mode_log, interval, poll]() {
+    mode_log->add(net->loop().now(), copa->in_competitive_mode());
+    net->loop().schedule_in(interval, *poll);
+  };
+  net->loop().schedule_in(interval, *poll);
+}
+
+}  // namespace nimbus::exp

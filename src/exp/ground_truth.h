@@ -1,0 +1,61 @@
+// Ground-truth elasticity intervals and mode-decision logging, used to
+// score classification accuracy (Figs. 12, 14, 15, 25; App. E).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cc/copa.h"
+#include "core/nimbus.h"
+#include "sim/network.h"
+#include "util/time.h"
+#include "util/timeseries.h"
+
+namespace nimbus::exp {
+
+/// Piecewise-constant ground truth: is elastic cross traffic present?
+class GroundTruth {
+ public:
+  void add_interval(TimeNs t0, TimeNs t1, bool elastic);
+  bool elastic_at(TimeNs t) const;
+  bool empty() const { return intervals_.empty(); }
+
+ private:
+  struct Interval {
+    TimeNs t0, t1;
+    bool elastic;
+  };
+  std::vector<Interval> intervals_;
+};
+
+/// Time series of binary mode decisions (true = TCP-competitive).
+class ModeLog {
+ public:
+  void add(TimeNs t, bool competitive) {
+    series_.add(t, competitive ? 1.0 : 0.0);
+  }
+
+  /// Fraction of logged decisions in [t0, t1) matching the ground truth
+  /// (elastic present <=> competitive mode is correct).
+  double accuracy(const GroundTruth& truth, TimeNs t0, TimeNs t1) const;
+
+  /// Fraction of decisions in [t0, t1) that are competitive.
+  double fraction_competitive(TimeNs t0, TimeNs t1) const;
+
+  const util::TimeSeries& series() const { return series_; }
+
+ private:
+  util::TimeSeries series_;
+};
+
+/// Wires a Nimbus instance's status stream into a ModeLog (and optionally
+/// an eta log).
+void attach_nimbus_logger(core::Nimbus* nimbus, ModeLog* mode_log,
+                          util::TimeSeries* eta_log = nullptr,
+                          util::TimeSeries* z_log = nullptr);
+
+/// Polls a Copa instance's mode every `interval` on the network's loop.
+void attach_copa_poller(sim::Network* net, const cc::Copa* copa,
+                        ModeLog* mode_log, TimeNs interval = from_ms(10));
+
+}  // namespace nimbus::exp

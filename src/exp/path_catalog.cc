@@ -1,0 +1,123 @@
+#include "exp/path_catalog.h"
+
+#include <memory>
+
+#include "exp/schemes.h"
+#include "sim/network.h"
+#include "traffic/raw_sources.h"
+#include "util/check.h"
+
+namespace nimbus::exp {
+
+std::vector<PathConfig> internet_paths() {
+  std::vector<PathConfig> paths;
+
+  // 1-10: deep-buffer paths, mostly inelastic cross traffic ("EC2 to
+  // residential host" style, Figs. 18a/18b).  Rates and RTTs span typical
+  // broadband access.
+  const double rates[] = {24e6, 48e6, 48e6, 96e6, 96e6,
+                          96e6, 120e6, 150e6, 192e6, 60e6};
+  const double rtts_ms[] = {30, 40, 60, 50, 80, 100, 45, 70, 35, 120};
+  for (int i = 0; i < 10; ++i) {
+    PathConfig p;
+    p.name = "deep-" + std::to_string(i + 1);
+    p.rate_bps = rates[i];
+    p.rtt = from_ms(rtts_ms[i]);
+    p.buffer_bdp = 2.0 + (i % 3);  // 2-4 BDP: bufferbloat territory
+    p.inelastic_load = 0.1 + 0.05 * (i % 5);
+    paths.push_back(p);
+  }
+
+  // 11-18: paths with some elastic competition (shared access links).
+  for (int i = 0; i < 8; ++i) {
+    PathConfig p;
+    p.name = "shared-" + std::to_string(i + 1);
+    p.rate_bps = 48e6 + 24e6 * (i % 3);
+    p.rtt = from_ms(40 + 15 * (i % 4));
+    p.buffer_bdp = 1.5;
+    p.inelastic_load = 0.15;
+    p.elastic_flows = 1 + (i % 2);
+    paths.push_back(p);
+  }
+
+  // 19-22: lossy paths (wireless-like random loss, shallow buffers);
+  // Cubic suffers here (Fig. 18c).
+  for (int i = 0; i < 4; ++i) {
+    PathConfig p;
+    p.name = "lossy-" + std::to_string(i + 1);
+    p.rate_bps = 30e6 + 20e6 * i;
+    p.rtt = from_ms(60 + 20 * i);
+    p.buffer_bdp = 0.5;
+    p.random_loss = 0.005 + 0.005 * i;
+    p.inelastic_load = 0.1;
+    p.has_queueing = false;
+    paths.push_back(p);
+  }
+
+  // 23-25: policed paths.
+  for (int i = 0; i < 3; ++i) {
+    PathConfig p;
+    p.name = "policed-" + std::to_string(i + 1);
+    p.rate_bps = 100e6;
+    p.rtt = from_ms(50 + 25 * i);
+    p.buffer_bdp = 1.0;
+    p.policer = true;
+    p.policer_frac = 0.4 + 0.1 * i;
+    p.inelastic_load = 0.05;
+    p.has_queueing = false;
+    paths.push_back(p);
+  }
+
+  NIMBUS_CHECK(paths.size() == 25);
+  return paths;
+}
+
+FlowSummary run_path(const std::string& scheme, const PathConfig& path,
+                     TimeNs duration, std::uint64_t seed) {
+  sim::Network net(path.rate_bps,
+                   sim::buffer_bytes_for_bdp(path.rate_bps, path.rtt,
+                                             path.buffer_bdp));
+  if (path.random_loss > 0) {
+    net.link().set_random_loss(path.random_loss, seed * 13 + 7);
+  }
+  if (path.policer) {
+    sim::PolicerConfig pc;
+    pc.enabled = true;
+    pc.rate_bps = path.policer_frac * path.rate_bps;
+    pc.burst_bytes = static_cast<std::int64_t>(
+        path.policer_frac * path.rate_bps / 8.0 * to_sec(path.rtt));
+    net.link().set_policer(pc);
+  }
+
+  // Protagonist bulk transfer.  Real-path runs estimate mu online (the
+  // paper's testbed does not know the bottleneck rate a priori).
+  sim::TransportFlow::Config fc;
+  fc.id = net.next_flow_id();
+  fc.rtt_prop = path.rtt;
+  fc.seed = seed;
+  net.recorder().track_flow(fc.id);
+  net.add_flow(fc, make_scheme(scheme, /*known_mu_bps=*/0.0));
+
+  // Cross traffic.
+  if (path.inelastic_load > 0) {
+    traffic::PoissonSource::Config pc;
+    pc.id = net.next_flow_id();
+    pc.mean_rate_bps = path.inelastic_load * path.rate_bps;
+    pc.seed = seed * 31 + 3;
+    net.add_source(std::make_unique<traffic::PoissonSource>(
+        &net.loop(), &net.link(), pc));
+  }
+  for (int i = 0; i < path.elastic_flows; ++i) {
+    sim::TransportFlow::Config cc_cfg;
+    cc_cfg.id = net.next_flow_id();
+    cc_cfg.rtt_prop = path.rtt + from_ms(5 * i);
+    cc_cfg.seed = seed * 17 + static_cast<std::uint64_t>(i);
+    net.add_flow(cc_cfg, make_scheme("cubic"));
+  }
+
+  net.run_until(duration);
+  // Skip the first 10 s of warmup in the summary.
+  return summarize_flow(net.recorder(), 1, from_sec(10), duration);
+}
+
+}  // namespace nimbus::exp

@@ -1,0 +1,50 @@
+#include "exp/schemes.h"
+
+#include "cc/bbr.h"
+#include "cc/compound.h"
+#include "cc/copa.h"
+#include "cc/cubic.h"
+#include "cc/reno.h"
+#include "cc/vegas.h"
+#include "cc/vivace.h"
+#include "core/basic_delay.h"
+#include "core/nimbus.h"
+#include "util/check.h"
+
+namespace nimbus::exp {
+
+std::unique_ptr<sim::CcAlgorithm> make_scheme(const std::string& name,
+                                              double known_mu_bps) {
+  if (name == "cubic") return std::make_unique<cc::Cubic>();
+  if (name == "newreno" || name == "reno") return std::make_unique<cc::Reno>();
+  if (name == "vegas") return std::make_unique<cc::Vegas>();
+  if (name == "compound") return std::make_unique<cc::Compound>();
+  if (name == "bbr") return std::make_unique<cc::Bbr>();
+  if (name == "copa") return std::make_unique<cc::Copa>();
+  if (name == "vivace") return std::make_unique<cc::Vivace>();
+  if (name == "basic-delay") {
+    core::BasicDelayCc::Config cfg;
+    cfg.known_mu_bps = known_mu_bps;
+    return std::make_unique<core::BasicDelayCc>(cfg);
+  }
+  if (name == "nimbus" || name == "nimbus-copa" || name == "nimbus-vegas") {
+    core::Nimbus::Config cfg;
+    cfg.known_mu_bps = known_mu_bps;
+    if (name == "nimbus-copa") {
+      cfg.delay_algo = core::Nimbus::DelayAlgo::kCopa;
+    } else if (name == "nimbus-vegas") {
+      cfg.delay_algo = core::Nimbus::DelayAlgo::kVegas;
+    }
+    return std::make_unique<core::Nimbus>(cfg);
+  }
+  NIMBUS_CHECK_MSG(false, ("unknown scheme: " + name).c_str());
+  return nullptr;
+}
+
+std::vector<std::string> all_scheme_names() {
+  return {"cubic",  "newreno",     "vegas",  "compound",
+          "bbr",    "copa",        "vivace", "basic-delay",
+          "nimbus", "nimbus-copa", "nimbus-vegas"};
+}
+
+}  // namespace nimbus::exp

@@ -1,0 +1,28 @@
+// Scheme factory: builds any of the paper's congestion-control algorithms
+// by name, so benches and examples can sweep over them uniformly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/cc_interface.h"
+
+namespace nimbus::exp {
+
+/// Known scheme names:
+///   "cubic", "newreno", "vegas", "compound", "bbr", "copa", "vivace",
+///   "basic-delay"  (Nimbus's delay algorithm without mode switching),
+///   "nimbus"       (Cubic + BasicDelay),
+///   "nimbus-copa"  (Cubic + Copa default mode),
+///   "nimbus-vegas" (Cubic + Vegas).
+///
+/// `known_mu_bps` configures schemes that use the bottleneck rate (Nimbus,
+/// basic-delay); 0 lets them estimate it online.
+std::unique_ptr<sim::CcAlgorithm> make_scheme(const std::string& name,
+                                              double known_mu_bps = 0.0);
+
+/// All scheme names make_scheme accepts.
+std::vector<std::string> all_scheme_names();
+
+}  // namespace nimbus::exp

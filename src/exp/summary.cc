@@ -1,0 +1,52 @@
+#include "exp/summary.h"
+
+#include <cstdio>
+
+#include "util/csv.h"
+
+namespace nimbus::exp {
+
+FlowSummary summarize_flow(const sim::Recorder& rec, sim::FlowId id,
+                           TimeNs t0, TimeNs t1) {
+  FlowSummary s;
+  s.mean_rate_mbps = rec.delivered(id).rate_bps(t0, t1) / 1e6;
+
+  util::Percentiles rtt;
+  rtt.add_all(rec.rtt_samples(id).values_in(t0, t1));
+  if (!rtt.empty()) {
+    s.mean_rtt_ms = rtt.mean();
+    s.median_rtt_ms = rtt.median();
+    s.p95_rtt_ms = rtt.percentile(0.95);
+  }
+
+  util::Percentiles qd;
+  qd.add_all(rec.queue_delay(id).values_in(t0, t1));
+  if (!qd.empty()) {
+    s.mean_queue_delay_ms = qd.mean();
+    s.median_queue_delay_ms = qd.median();
+  }
+  return s;
+}
+
+std::vector<double> rate_series_mbps(const sim::Recorder& rec,
+                                     sim::FlowId id, TimeNs t0, TimeNs t1,
+                                     TimeNs bucket) {
+  std::vector<double> out =
+      rec.delivered(id).bucket_rates_bps(t0, t1, bucket);
+  for (double& v : out) v /= 1e6;
+  return out;
+}
+
+void print_cdf(const std::string& prefix, const std::string& label,
+               const util::Percentiles& samples, std::size_t points) {
+  if (samples.empty()) return;
+  for (std::size_t i = 0; i < points; ++i) {
+    const double p =
+        static_cast<double>(i) / static_cast<double>(points - 1);
+    std::printf("%s,%s,%s,%s\n", prefix.c_str(), label.c_str(),
+                util::format_num(samples.percentile(p)).c_str(),
+                util::format_num(p).c_str());
+  }
+}
+
+}  // namespace nimbus::exp

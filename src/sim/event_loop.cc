@@ -1,0 +1,55 @@
+#include "sim/event_loop.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace nimbus::sim {
+
+EventId EventLoop::schedule(TimeNs t, Callback cb) {
+  NIMBUS_CHECK_MSG(t >= now_, "cannot schedule events in the past");
+  const EventId id = next_id_++;
+  heap_.push({t, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+void EventLoop::cancel(EventId id) { callbacks_.erase(id); }
+
+void EventLoop::run_until(TimeNs t_end) {
+  stopped_ = false;
+  while (!stopped_ && !heap_.empty()) {
+    const HeapEntry top = heap_.top();
+    if (top.time > t_end) break;
+    heap_.pop();
+    const auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    now_ = top.time;
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    ++processed_;
+    cb();
+  }
+  if (!stopped_ && now_ < t_end) now_ = t_end;
+}
+
+void EventLoop::run() { run_until(std::numeric_limits<TimeNs>::max()); }
+
+void Timer::arm(TimeNs at, EventLoop::Callback cb) {
+  cancel();
+  armed_ = true;
+  deadline_ = at;
+  pending_ = loop_->schedule(at, [this, cb = std::move(cb)]() {
+    armed_ = false;
+    cb();
+  });
+}
+
+void Timer::cancel() {
+  if (armed_) {
+    loop_->cancel(pending_);
+    armed_ = false;
+  }
+}
+
+}  // namespace nimbus::sim

@@ -1,0 +1,86 @@
+// Discrete-event loop: integer-nanosecond timestamps, deterministic
+// tie-breaking by scheduling order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.h"
+
+namespace nimbus::sim {
+
+using EventId = std::uint64_t;
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute time `t` (must be >= now()).
+  EventId schedule(TimeNs t, Callback cb);
+
+  /// Schedules `cb` after a relative delay.
+  EventId schedule_in(TimeNs delay, Callback cb) {
+    return schedule(now_ + delay, std::move(cb));
+  }
+
+  /// Cancels a pending event; no-op if already fired or cancelled.
+  void cancel(EventId id);
+
+  /// Runs events until the queue empties or the next event is past `t_end`;
+  /// now() is t_end afterwards (unless stop() was called earlier).
+  void run_until(TimeNs t_end);
+
+  /// Runs until the queue is empty.
+  void run();
+
+  /// Stops the loop after the current callback returns.
+  void stop() { stopped_ = true; }
+
+  TimeNs now() const { return now_; }
+  std::size_t pending_events() const { return callbacks_.size(); }
+  std::uint64_t processed_events() const { return processed_; }
+
+ private:
+  struct HeapEntry {
+    TimeNs time;
+    EventId id;
+    bool operator>(const HeapEntry& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;  // FIFO among same-time events
+    }
+  };
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  TimeNs now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+/// A single rearmable timer (e.g. an RTO).  Re-arming cancels the previous
+/// schedule; fire() is invoked at most once per arm.
+class Timer {
+ public:
+  explicit Timer(EventLoop* loop) : loop_(loop) {}
+
+  void arm(TimeNs at, EventLoop::Callback cb);
+  void arm_in(TimeNs delay, EventLoop::Callback cb) {
+    arm(loop_->now() + delay, std::move(cb));
+  }
+  void cancel();
+  bool armed() const { return armed_; }
+  TimeNs deadline() const { return deadline_; }
+
+ private:
+  EventLoop* loop_;
+  EventId pending_ = 0;
+  bool armed_ = false;
+  TimeNs deadline_ = 0;
+};
+
+}  // namespace nimbus::sim

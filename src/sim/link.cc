@@ -1,0 +1,96 @@
+#include "sim/link.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace nimbus::sim {
+
+BottleneckLink::BottleneckLink(EventLoop* loop, double rate_bps,
+                               std::unique_ptr<QueueDisc> qdisc)
+    : loop_(loop), rate_bps_(rate_bps), qdisc_(std::move(qdisc)),
+      loss_rng_(7) {
+  NIMBUS_CHECK(rate_bps_ > 0);
+  NIMBUS_CHECK(qdisc_ != nullptr);
+}
+
+void BottleneckLink::set_random_loss(double prob, std::uint64_t seed) {
+  NIMBUS_CHECK(prob >= 0.0 && prob < 1.0);
+  loss_prob_ = prob;
+  loss_rng_ = util::Rng(seed);
+}
+
+void BottleneckLink::set_policer(const PolicerConfig& cfg) {
+  policer_ = cfg;
+  policer_tokens_ = static_cast<double>(cfg.burst_bytes);
+  policer_last_refill_ = loop_->now();
+}
+
+bool BottleneckLink::policer_admits(const Packet& p) {
+  if (!policer_.enabled) return true;
+  const TimeNs now = loop_->now();
+  policer_tokens_ += bytes_in(now - policer_last_refill_, policer_.rate_bps);
+  policer_tokens_ =
+      std::min(policer_tokens_, static_cast<double>(policer_.burst_bytes));
+  policer_last_refill_ = now;
+  if (policer_tokens_ < static_cast<double>(p.size_bytes)) return false;
+  policer_tokens_ -= static_cast<double>(p.size_bytes);
+  return true;
+}
+
+void BottleneckLink::enqueue(Packet p) {
+  if (loss_prob_ > 0.0 && loss_rng_.bernoulli(loss_prob_)) {
+    drop(p);
+    return;
+  }
+  if (!policer_admits(p)) {
+    drop(p);
+    return;
+  }
+  p.enqueued_at = loop_->now();
+  if (!qdisc_->enqueue(p, loop_->now())) {
+    drop(p);
+    return;
+  }
+  if (!busy_) start_transmission();
+}
+
+void BottleneckLink::drop(const Packet& p) {
+  ++dropped_packets_;
+  if (on_drop_) on_drop_(p);
+}
+
+void BottleneckLink::start_transmission() {
+  auto next = qdisc_->dequeue(loop_->now());
+  if (!next) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  const TimeNs t = tx_time(next->size_bytes, rate_bps_);
+  busy_time_ += t;
+  loop_->schedule_in(t, [this, p = *next]() {
+    delivered_bytes_ += p.size_bytes;
+    ++delivered_packets_;
+    if (on_delivery_) on_delivery_(p, loop_->now());
+    start_transmission();
+  });
+}
+
+void BottleneckLink::set_rate_bps(double rate_bps) {
+  NIMBUS_CHECK(rate_bps > 0);
+  rate_bps_ = rate_bps;
+}
+
+TimeNs BottleneckLink::current_queue_delay() const {
+  return static_cast<TimeNs>(static_cast<double>(qdisc_->bytes()) * 8.0 /
+                             rate_bps_ * static_cast<double>(kNanosPerSec));
+}
+
+double BottleneckLink::utilization() const {
+  const TimeNs now = loop_->now();
+  if (now <= 0) return 0.0;
+  return to_sec(busy_time_) / to_sec(now);
+}
+
+}  // namespace nimbus::sim

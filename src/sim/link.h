@@ -1,0 +1,92 @@
+// The bottleneck link: a work-conserving transmitter draining a queue
+// discipline at a fixed rate, with optional random loss and an optional
+// token-bucket policer (used to emulate lossy / policed Internet paths).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/event_loop.h"
+#include "sim/packet.h"
+#include "sim/queue_disc.h"
+#include "util/rng.h"
+
+namespace nimbus::sim {
+
+/// Token-bucket policer applied before the queue: non-conforming packets are
+/// dropped (models ISP rate policers seen on some Internet paths, Fig. 18c).
+struct PolicerConfig {
+  bool enabled = false;
+  double rate_bps = 0.0;
+  std::int64_t burst_bytes = 0;
+};
+
+class BottleneckLink {
+ public:
+  /// Called when a packet finishes serialization; `dequeue_done` is the time
+  /// the last bit left the link.
+  using DeliveryHandler = std::function<void(const Packet&, TimeNs)>;
+  /// Called when a packet is dropped (queue overflow, AQM, random loss, or
+  /// policer).
+  using DropHandler = std::function<void(const Packet&)>;
+
+  BottleneckLink(EventLoop* loop, double rate_bps,
+                 std::unique_ptr<QueueDisc> qdisc);
+
+  void set_delivery_handler(DeliveryHandler h) { on_delivery_ = std::move(h); }
+  void set_drop_handler(DropHandler h) { on_drop_ = std::move(h); }
+
+  /// Random i.i.d. loss applied on arrival (before the queue).
+  void set_random_loss(double prob, std::uint64_t seed = 7);
+  void set_policer(const PolicerConfig& cfg);
+
+  /// Offers a packet to the link.
+  void enqueue(Packet p);
+
+  /// Changes the link rate at runtime (affects packets serialized after the
+  /// change; used by variable-rate path experiments).
+  void set_rate_bps(double rate_bps);
+  double rate_bps() const { return rate_bps_; }
+
+  const QueueDisc& qdisc() const { return *qdisc_; }
+
+  /// Instantaneous queueing-delay estimate: queued bytes / link rate (plus
+  /// the residual serialization time of the in-flight packet is ignored).
+  TimeNs current_queue_delay() const;
+
+  // --- statistics ---
+  std::int64_t delivered_bytes() const { return delivered_bytes_; }
+  std::uint64_t delivered_packets() const { return delivered_packets_; }
+  std::uint64_t dropped_packets() const { return dropped_packets_; }
+  TimeNs busy_time() const { return busy_time_; }
+  /// Link utilization over [0, now].
+  double utilization() const;
+
+ private:
+  void start_transmission();
+  void drop(const Packet& p);
+  bool policer_admits(const Packet& p);
+
+  EventLoop* loop_;
+  double rate_bps_;
+  std::unique_ptr<QueueDisc> qdisc_;
+  DeliveryHandler on_delivery_;
+  DropHandler on_drop_;
+
+  bool busy_ = false;
+  TimeNs busy_time_ = 0;
+
+  double loss_prob_ = 0.0;
+  util::Rng loss_rng_;
+
+  PolicerConfig policer_;
+  double policer_tokens_ = 0.0;
+  TimeNs policer_last_refill_ = 0;
+
+  std::int64_t delivered_bytes_ = 0;
+  std::uint64_t delivered_packets_ = 0;
+  std::uint64_t dropped_packets_ = 0;
+};
+
+}  // namespace nimbus::sim

@@ -1,0 +1,66 @@
+#include "sim/network.h"
+
+#include "util/check.h"
+
+namespace nimbus::sim {
+
+Network::Network(double link_rate_bps, std::int64_t buffer_bytes)
+    : Network(link_rate_bps, std::make_unique<DropTailQueue>(buffer_bytes)) {}
+
+Network::Network(double link_rate_bps, std::unique_ptr<QueueDisc> qdisc) {
+  link_ = std::make_unique<BottleneckLink>(&loop_, link_rate_bps,
+                                           std::move(qdisc));
+  init();
+}
+
+Network::~Network() = default;
+
+void Network::init() {
+  link_->set_delivery_handler([this](const Packet& p, TimeNs t) {
+    recorder_.on_delivery(p, t);
+    if (p.is_transport) {
+      if (TransportFlow* f = flow_by_id(p.flow_id)) f->on_link_delivery(p, t);
+    }
+  });
+  link_->set_drop_handler([this](const Packet& p) { recorder_.on_drop(p); });
+}
+
+TransportFlow* Network::add_flow(TransportFlow::Config cfg,
+                                 std::unique_ptr<CcAlgorithm> cc) {
+  if (cfg.id == 0) cfg.id = next_flow_id();
+  NIMBUS_CHECK_MSG(flow_by_id(cfg.id) == nullptr, "duplicate flow id");
+  next_id_ = std::max(next_id_, cfg.id + 1);
+  auto flow =
+      std::make_unique<TransportFlow>(&loop_, link_.get(), cfg, std::move(cc));
+  TransportFlow* raw = flow.get();
+  raw->set_rtt_sample_handler([this](FlowId id, TimeNs t, TimeNs rtt) {
+    recorder_.on_rtt_sample(id, t, rtt);
+  });
+  raw->set_completion_handler([this, raw](FlowId id, TimeNs when, TimeNs fct) {
+    recorder_.on_completion(id, when, fct, raw->config().app_bytes);
+  });
+  flows_.push_back(std::move(flow));
+  flow_index_[cfg.id] = raw;
+  raw->start();
+  return raw;
+}
+
+void Network::add_source(std::unique_ptr<TrafficSource> source) {
+  source->start();
+  sources_.push_back(std::move(source));
+}
+
+TransportFlow* Network::flow_by_id(FlowId id) {
+  const auto it = flow_index_.find(id);
+  return it == flow_index_.end() ? nullptr : it->second;
+}
+
+void Network::run_until(TimeNs t_end) {
+  if (!recorder_attached_) {
+    recorder_.attach(&loop_, link_.get());
+    recorder_attached_ = true;
+  }
+  loop_.run_until(t_end);
+}
+
+}  // namespace nimbus::sim

@@ -1,0 +1,81 @@
+// Single-bottleneck network assembly: event loop + link + flows + sources +
+// recorder, with packet dispatch between them.
+//
+// This is the simulated equivalent of the paper's Mahimahi testbed (Fig. 2):
+// a sender and cross-traffic senders share one bottleneck of rate µ; ACKs
+// return over an uncongested reverse path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/cc_interface.h"
+#include "sim/event_loop.h"
+#include "sim/link.h"
+#include "sim/recorder.h"
+#include "sim/transport.h"
+
+namespace nimbus::sim {
+
+/// Unreliable traffic source (CBR, Poisson, ...).  Sources schedule their
+/// own transmissions on the loop and enqueue packets into the link; their
+/// packets carry no ACK path.
+class TrafficSource {
+ public:
+  virtual ~TrafficSource() = default;
+  virtual void start() = 0;
+  virtual FlowId id() const = 0;
+};
+
+class Network {
+ public:
+  /// Convenience: DropTail bottleneck with `buffer_bytes` of queueing.
+  Network(double link_rate_bps, std::int64_t buffer_bytes);
+  /// Full control over the queue discipline.
+  Network(double link_rate_bps, std::unique_ptr<QueueDisc> qdisc);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  EventLoop& loop() { return loop_; }
+  BottleneckLink& link() { return *link_; }
+  Recorder& recorder() { return recorder_; }
+  double link_rate_bps() const { return link_->rate_bps(); }
+
+  /// Creates a transport flow (assigns an id if cfg.id == 0), wires it to
+  /// the recorder, and schedules its start.
+  TransportFlow* add_flow(TransportFlow::Config cfg,
+                          std::unique_ptr<CcAlgorithm> cc);
+
+  /// Registers an unreliable source (already wired to the link) so its
+  /// lifetime is managed here and its start is scheduled.
+  void add_source(std::unique_ptr<TrafficSource> source);
+
+  /// Allocates a fresh flow id (for sources constructed by the caller).
+  FlowId next_flow_id() { return next_id_++; }
+
+  /// Runs the simulation until simulated time `t_end`.
+  void run_until(TimeNs t_end);
+
+  const std::vector<std::unique_ptr<TransportFlow>>& flows() const {
+    return flows_;
+  }
+  TransportFlow* flow_by_id(FlowId id);
+
+ private:
+  void init();
+
+  EventLoop loop_;
+  std::unique_ptr<BottleneckLink> link_;
+  Recorder recorder_;
+  std::vector<std::unique_ptr<TransportFlow>> flows_;
+  std::unordered_map<FlowId, TransportFlow*> flow_index_;
+  std::vector<std::unique_ptr<TrafficSource>> sources_;
+  FlowId next_id_ = 1;
+  bool recorder_attached_ = false;
+};
+
+}  // namespace nimbus::sim

@@ -1,0 +1,51 @@
+// Send/receive rate measurement over the last n acknowledged packets,
+// exactly as the paper's Eq. (2):
+//
+//   S = n_bytes / (s_{i+n} - s_i),   R = n_bytes / (r_{i+n} - r_i)
+//
+// where s_k is the send time of packet k and r_k the arrival time of its
+// ACK.  Both rates are measured over the *same* n packets — the property the
+// cross-traffic estimator (Eq. 1) depends on.  n is one window's worth of
+// packets (section 3.4: "our implementation measures S and R over one RTT").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "util/time.h"
+
+namespace nimbus::sim {
+
+class RateSampler {
+ public:
+  struct Rates {
+    double send_bps = 0.0;
+    double recv_bps = 0.0;
+    bool valid = false;
+  };
+
+  /// Records one acknowledged packet.
+  void on_ack(TimeNs sent_at, TimeNs acked_at, std::uint32_t bytes);
+
+  /// Rates over the most recent `n_packets` acked packets (clamped to what
+  /// is available; invalid until at least `min_packets` have been seen).
+  Rates rates(std::size_t n_packets) const;
+
+  /// Convenience: rates over roughly one window (cwnd_bytes / mss packets).
+  Rates rates_over_window(double cwnd_bytes, std::uint32_t mss) const;
+
+  std::size_t history_size() const { return samples_.size(); }
+  void set_min_packets(std::size_t n) { min_packets_ = n; }
+
+ private:
+  struct Sample {
+    TimeNs sent_at;
+    TimeNs acked_at;
+    std::uint32_t bytes;
+  };
+  std::deque<Sample> samples_;
+  std::size_t max_history_ = 16384;
+  std::size_t min_packets_ = 5;
+};
+
+}  // namespace nimbus::sim

@@ -1,0 +1,76 @@
+#include "sim/recorder.h"
+
+#include "sim/event_loop.h"
+#include "sim/link.h"
+#include "util/check.h"
+
+namespace nimbus::sim {
+
+namespace {
+const util::ByteCounter kEmptyCounter;
+const util::TimeSeries kEmptySeries;
+}  // namespace
+
+void Recorder::attach(EventLoop* loop, BottleneckLink* link,
+                      TimeNs probe_interval) {
+  NIMBUS_CHECK(loop != nullptr && link != nullptr);
+  // Self-rescheduling probe; captures this/loop/link by value.
+  auto probe = std::make_shared<std::function<void()>>();
+  *probe = [this, loop, link, probe_interval, probe]() {
+    probe_qdelay_.add(loop->now(), to_ms(link->current_queue_delay()));
+    loop->schedule_in(probe_interval, *probe);
+  };
+  loop->schedule_in(probe_interval, *probe);
+}
+
+void Recorder::on_delivery(const Packet& p, TimeNs dequeue_done) {
+  delivered_[p.flow_id].add(dequeue_done, p.size_bytes);
+  if (tracked_.count(p.flow_id)) {
+    queue_delay_[p.flow_id].add(dequeue_done,
+                                to_ms(dequeue_done - p.enqueued_at));
+  }
+}
+
+void Recorder::on_drop(const Packet& p) {
+  ++drops_[p.flow_id];
+  ++total_drops_;
+}
+
+void Recorder::on_rtt_sample(FlowId id, TimeNs now, TimeNs rtt) {
+  rtt_[id].add(now, to_ms(rtt));
+}
+
+void Recorder::on_completion(FlowId id, TimeNs when, TimeNs fct,
+                             std::int64_t flow_bytes) {
+  completions_.push_back({id, when, fct, flow_bytes});
+}
+
+const util::ByteCounter& Recorder::delivered(FlowId id) const {
+  const auto it = delivered_.find(id);
+  return it == delivered_.end() ? kEmptyCounter : it->second;
+}
+
+double Recorder::aggregate_rate_bps(const std::vector<FlowId>& ids, TimeNs t0,
+                                    TimeNs t1) const {
+  if (t1 <= t0) return 0.0;
+  std::int64_t bytes = 0;
+  for (FlowId id : ids) bytes += delivered(id).bytes_in(t0, t1);
+  return static_cast<double>(bytes) * 8.0 / to_sec(t1 - t0);
+}
+
+const util::TimeSeries& Recorder::queue_delay(FlowId id) const {
+  const auto it = queue_delay_.find(id);
+  return it == queue_delay_.end() ? kEmptySeries : it->second;
+}
+
+const util::TimeSeries& Recorder::rtt_samples(FlowId id) const {
+  const auto it = rtt_.find(id);
+  return it == rtt_.end() ? kEmptySeries : it->second;
+}
+
+std::uint64_t Recorder::drops(FlowId id) const {
+  const auto it = drops_.find(id);
+  return it == drops_.end() ? 0 : it->second;
+}
+
+}  // namespace nimbus::sim

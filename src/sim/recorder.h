@@ -1,0 +1,74 @@
+// Experiment measurement: per-flow delivered bytes, RTT samples, per-packet
+// queueing delay for tracked flows, sampled queue state, drops, and flow
+// completion times.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/packet.h"
+#include "util/stats.h"
+#include "util/time.h"
+#include "util/timeseries.h"
+
+namespace nimbus::sim {
+
+class EventLoop;
+class BottleneckLink;
+
+class Recorder {
+ public:
+  /// Starts the periodic queue probe (default every 10 ms).
+  void attach(EventLoop* loop, BottleneckLink* link,
+              TimeNs probe_interval = from_ms(10));
+
+  /// Tracked flows get per-packet queueing-delay series (others only get
+  /// byte counters, which are cheap).
+  void track_flow(FlowId id) { tracked_.insert(id); }
+
+  // --- hooks called by Network ---
+  void on_delivery(const Packet& p, TimeNs dequeue_done);
+  void on_drop(const Packet& p);
+  void on_rtt_sample(FlowId id, TimeNs now, TimeNs rtt);
+  void on_completion(FlowId id, TimeNs when, TimeNs fct,
+                     std::int64_t flow_bytes);
+
+  // --- accessors ---
+  /// Bytes delivered through the bottleneck, per flow.
+  const util::ByteCounter& delivered(FlowId id) const;
+  /// Aggregate delivered bytes for a set of flows over [t0, t1).
+  double aggregate_rate_bps(const std::vector<FlowId>& ids, TimeNs t0,
+                            TimeNs t1) const;
+  /// Per-packet queueing delay (tracked flows only).
+  const util::TimeSeries& queue_delay(FlowId id) const;
+  /// RTT samples per flow (only for flows wired via rtt handler).
+  const util::TimeSeries& rtt_samples(FlowId id) const;
+  /// Queue delay sampled by the periodic probe (all traffic).
+  const util::TimeSeries& probed_queue_delay() const { return probe_qdelay_; }
+  std::uint64_t drops(FlowId id) const;
+  std::uint64_t total_drops() const { return total_drops_; }
+
+  struct Completion {
+    FlowId id;
+    TimeNs when;
+    TimeNs fct;
+    std::int64_t bytes;
+  };
+  const std::vector<Completion>& completions() const { return completions_; }
+
+  bool has_flow(FlowId id) const { return delivered_.count(id) > 0; }
+
+ private:
+  std::set<FlowId> tracked_;
+  std::map<FlowId, util::ByteCounter> delivered_;
+  std::map<FlowId, util::TimeSeries> queue_delay_;
+  std::map<FlowId, util::TimeSeries> rtt_;
+  std::map<FlowId, std::uint64_t> drops_;
+  std::uint64_t total_drops_ = 0;
+  util::TimeSeries probe_qdelay_;
+  std::vector<Completion> completions_;
+};
+
+}  // namespace nimbus::sim

@@ -1,0 +1,341 @@
+#include "sim/transport.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace nimbus::sim {
+
+namespace {
+constexpr std::uint64_t kDupThreshold = 3;
+constexpr TimeNs kMaxRto = from_sec(60);
+constexpr std::int64_t kBackloggedBytes =
+    std::numeric_limits<std::int64_t>::max() / 2;
+}  // namespace
+
+TransportFlow::TransportFlow(EventLoop* loop, BottleneckLink* link,
+                             Config config, std::unique_ptr<CcAlgorithm> cc)
+    : loop_(loop),
+      link_(link),
+      cfg_(config),
+      cc_(std::move(cc)),
+      rng_(config.seed),
+      rto_timer_(loop),
+      pacing_timer_(loop),
+      report_timer_(loop),
+      stop_timer_(loop) {
+  NIMBUS_CHECK(cc_ != nullptr);
+  NIMBUS_CHECK(cfg_.mss > 0);
+  backlogged_ = cfg_.app_bytes < 0;
+  app_bytes_remaining_ = backlogged_ ? kBackloggedBytes : cfg_.app_bytes;
+  cwnd_bytes_ = cfg_.initial_cwnd_pkts * cfg_.mss;
+}
+
+TransportFlow::~TransportFlow() = default;
+
+void TransportFlow::start() {
+  loop_->schedule(std::max(cfg_.start_time, loop_->now()),
+                  [this]() { begin(); });
+}
+
+void TransportFlow::begin() {
+  started_ = true;
+  cc_->init(*this);
+  if (cfg_.stop_time != std::numeric_limits<TimeNs>::max()) {
+    stop_timer_.arm(cfg_.stop_time, [this]() { app_bytes_remaining_ = 0; });
+  }
+  report_timer_.arm_in(cfg_.report_interval, [this]() { report_tick(); });
+  maybe_send();
+}
+
+TimeNs TransportFlow::now() const { return loop_->now(); }
+
+void TransportFlow::set_cwnd_bytes(double bytes) {
+  cwnd_bytes_ = std::max<double>(bytes, cfg_.mss);
+}
+
+void TransportFlow::set_pacing_rate_bps(double bps) {
+  NIMBUS_CHECK(bps >= 0);
+  pacing_rate_bps_ = bps;
+}
+
+std::int64_t TransportFlow::bytes_in_flight() const {
+  return static_cast<std::int64_t>(outstanding_.size()) * cfg_.mss;
+}
+
+bool TransportFlow::is_app_limited() const {
+  return !backlogged_ && app_bytes_remaining_ <= 0 && !completed_;
+}
+
+std::uint64_t TransportFlow::total_packets() const {
+  NIMBUS_CHECK(!backlogged_);
+  return (static_cast<std::uint64_t>(cfg_.app_bytes) + cfg_.mss - 1) /
+         cfg_.mss;
+}
+
+void TransportFlow::add_app_bytes(std::int64_t bytes) {
+  NIMBUS_CHECK(bytes >= 0);
+  if (backlogged_ || completed_) return;
+  app_bytes_remaining_ += bytes;
+  if (started_) maybe_send();
+}
+
+bool TransportFlow::can_send() const {
+  if (!started_ || completed_) return false;
+  const bool has_data = !retx_queue_.empty() || app_bytes_remaining_ > 0;
+  if (!has_data) return false;
+  return static_cast<double>(bytes_in_flight() + cfg_.mss) <=
+         cwnd_bytes_ + 0.5;
+}
+
+void TransportFlow::maybe_send() {
+  while (can_send()) {
+    if (pacing_rate_bps_ > 0) {
+      const TimeNs t = loop_->now();
+      if (t < next_send_time_) {
+        pacing_timer_.arm(next_send_time_, [this]() { maybe_send(); });
+        return;
+      }
+      send_one();
+      next_send_time_ = std::max(next_send_time_, t) +
+                        tx_time(cfg_.mss, pacing_rate_bps_);
+    } else {
+      send_one();
+    }
+  }
+}
+
+void TransportFlow::send_one() {
+  std::uint64_t seq;
+  bool retransmit = false;
+  if (!retx_queue_.empty()) {
+    seq = retx_queue_.front();
+    retx_queue_.pop_front();
+    retransmit = true;
+  } else {
+    seq = snd_nxt_++;
+    if (!backlogged_) {
+      app_bytes_remaining_ =
+          std::max<std::int64_t>(0, app_bytes_remaining_ - cfg_.mss);
+    }
+  }
+
+  Packet p;
+  p.flow_id = cfg_.id;
+  p.seq = seq;
+  p.size_bytes = cfg_.mss;
+  p.sent_at = loop_->now();
+  p.is_transport = true;
+  p.is_retransmit = retransmit;
+
+  outstanding_[seq] = {p.sent_at, retransmit};
+  ++sent_packets_total_;
+  if (!rto_timer_.armed()) arm_or_cancel_rto();
+  link_->enqueue(p);
+}
+
+void TransportFlow::on_link_delivery(const Packet& p, TimeNs /*dequeue_done*/) {
+  // Receiver-side processing.  Conceptually this happens one-way-delay
+  // later; since receiver state only influences ACK contents and every ACK
+  // takes the same reverse path, evaluating it now preserves all orderings.
+  if (p.seq == rcv_next_) {
+    ++rcv_next_;
+    auto it = out_of_order_.begin();
+    while (it != out_of_order_.end() && *it == rcv_next_) {
+      ++rcv_next_;
+      it = out_of_order_.erase(it);
+    }
+  } else if (p.seq > rcv_next_) {
+    out_of_order_.insert(p.seq);
+  }  // p.seq < rcv_next_: duplicate (spurious retransmission), ignore.
+
+  Ack ack;
+  ack.flow_id = cfg_.id;
+  ack.seq = p.seq;
+  ack.cum_valid = rcv_next_ > 0;
+  ack.cum_ack = ack.cum_valid ? rcv_next_ - 1 : 0;
+  ack.data_sent_at = p.sent_at;
+  ack.bytes = p.size_bytes;
+
+  loop_->schedule_in(cfg_.rtt_prop, [this, ack]() { handle_ack(ack); });
+}
+
+void TransportFlow::handle_ack(const Ack& ack) {
+  if (completed_) return;
+  const TimeNs t = loop_->now();
+  latest_rtt_ = t - ack.data_sent_at;
+  update_rtt(latest_rtt_);
+  rto_backoff_ = 0;
+
+  std::uint32_t newly_acked = 0;
+  auto it = outstanding_.find(ack.seq);
+  if (it != outstanding_.end()) {
+    newly_acked += cfg_.mss;
+    outstanding_.erase(it);
+  }
+  if (ack.cum_valid) {
+    while (!outstanding_.empty() &&
+           outstanding_.begin()->first <= ack.cum_ack) {
+      newly_acked += cfg_.mss;
+      outstanding_.erase(outstanding_.begin());
+    }
+    // Purge queued retransmissions the cumulative ACK has overtaken (can
+    // only happen via spurious RTO; cheap safety either way).
+    while (!retx_queue_.empty() && retx_queue_.front() <= ack.cum_ack) {
+      retx_queue_.pop_front();
+    }
+    snd_una_ = std::max(snd_una_, ack.cum_ack + 1);
+  }
+  if (!any_acked_ || ack.seq > highest_acked_) {
+    highest_acked_ = ack.seq;
+    any_acked_ = true;
+  }
+
+  acked_bytes_total_ += newly_acked;
+  ++acked_since_report_;
+  sampler_.on_ack(ack.data_sent_at, t, ack.bytes);
+  cached_rates_ = sampler_.rates_over_window(
+      rate_window_bytes_ > 0 ? rate_window_bytes_ : cwnd_bytes_, cfg_.mss);
+  if (on_rtt_sample_) on_rtt_sample_(cfg_.id, t, latest_rtt_);
+
+  detect_losses();
+
+  AckInfo info;
+  info.now = t;
+  info.seq = ack.seq;
+  info.newly_acked_bytes = newly_acked;
+  info.rtt = latest_rtt_;
+  info.app_limited = is_app_limited();
+  cc_->on_ack(*this, info);
+
+  arm_or_cancel_rto();
+  check_completion();
+  if (!completed_) maybe_send();
+}
+
+void TransportFlow::detect_losses() {
+  if (!any_acked_ || highest_acked_ < kDupThreshold) return;
+  const std::uint64_t lost_below = highest_acked_ - kDupThreshold + 1;
+  const TimeNs t = loop_->now();
+  // RACK-style time guard: never declare a packet lost within ~1 RTT of its
+  // (re)transmission, so SACKs of pre-retransmission packets cannot kill a
+  // fresh retransmission.
+  const TimeNs min_age = latest_rtt_ - latest_rtt_ / 8;
+
+  std::vector<std::uint64_t> lost;
+  for (auto it = outstanding_.begin();
+       it != outstanding_.end() && it->first < lost_below; ++it) {
+    if (t - it->second.sent_at >= min_age) lost.push_back(it->first);
+  }
+  for (std::uint64_t seq : lost) declare_lost(seq);
+}
+
+void TransportFlow::declare_lost(std::uint64_t seq) {
+  outstanding_.erase(seq);
+  retx_queue_.push_back(seq);
+  ++lost_packets_total_;
+  ++lost_since_report_;
+
+  LossInfo loss;
+  loss.now = loop_->now();
+  loss.seq = seq;
+  loss.lost_bytes = cfg_.mss;
+  loss.new_congestion_event = seq >= loss_event_end_;
+  if (loss.new_congestion_event) loss_event_end_ = snd_nxt_;
+  cc_->on_loss(*this, loss);
+}
+
+void TransportFlow::update_rtt(TimeNs sample) {
+  min_rtt_ = std::min(min_rtt_, sample);
+  if (!have_rtt_) {
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+    have_rtt_ = true;
+    return;
+  }
+  const TimeNs err = sample > srtt_ ? sample - srtt_ : srtt_ - sample;
+  rttvar_ = (3 * rttvar_ + err) / 4;
+  srtt_ = (7 * srtt_ + sample) / 8;
+}
+
+TimeNs TransportFlow::current_rto() const {
+  TimeNs rto = have_rtt_ ? srtt_ + 4 * rttvar_ : from_sec(1);
+  rto = std::max(rto, cfg_.min_rto);
+  rto <<= std::min(rto_backoff_, 6);
+  return std::min(rto, kMaxRto);
+}
+
+void TransportFlow::arm_or_cancel_rto() {
+  if (outstanding_.empty()) {
+    rto_timer_.cancel();
+    return;
+  }
+  rto_timer_.arm_in(current_rto(), [this]() { on_rto_fired(); });
+}
+
+void TransportFlow::on_rto_fired() {
+  if (completed_ || outstanding_.empty()) return;
+  ++rto_count_;
+  rto_backoff_ = std::min(rto_backoff_ + 1, 6);
+
+  // The whole outstanding window is presumed lost; go-back-N style recovery
+  // with the congestion controller reset to one packet by on_rto().
+  std::vector<std::uint64_t> seqs;
+  seqs.reserve(outstanding_.size());
+  for (const auto& [seq, rec] : outstanding_) seqs.push_back(seq);
+  outstanding_.clear();
+  for (std::uint64_t s : seqs) {
+    retx_queue_.push_back(s);
+    ++lost_packets_total_;
+    ++lost_since_report_;
+  }
+  std::sort(retx_queue_.begin(), retx_queue_.end());
+  retx_queue_.erase(std::unique(retx_queue_.begin(), retx_queue_.end()),
+                    retx_queue_.end());
+  loss_event_end_ = snd_nxt_;
+
+  cc_->on_rto(*this);
+  arm_or_cancel_rto();
+  maybe_send();
+}
+
+void TransportFlow::report_tick() {
+  if (completed_) return;
+  CcReport r;
+  r.now = loop_->now();
+  r.send_rate_bps = cached_rates_.send_bps;
+  r.recv_rate_bps = cached_rates_.recv_bps;
+  r.rates_valid = cached_rates_.valid;
+  r.srtt = srtt_;
+  r.latest_rtt = latest_rtt_;
+  r.min_rtt = have_rtt_ ? min_rtt_ : 0;
+  r.acked_packets = acked_since_report_;
+  r.lost_packets = lost_since_report_;
+  r.bytes_in_flight = bytes_in_flight();
+  acked_since_report_ = 0;
+  lost_since_report_ = 0;
+
+  cc_->on_report(*this, r);
+  maybe_send();  // the report may have changed cwnd / pacing
+  report_timer_.arm_in(cfg_.report_interval, [this]() { report_tick(); });
+}
+
+void TransportFlow::check_completion() {
+  if (backlogged_ || completed_) return;
+  if (app_bytes_remaining_ > 0) return;
+  // For fixed-size flows, everything offered must be acknowledged.
+  if (cfg_.app_bytes >= 0 && snd_nxt_ < total_packets()) return;
+  if (!outstanding_.empty() || !retx_queue_.empty()) return;
+  if (cfg_.app_bytes == 0) return;  // app-driven flow with no data yet
+  completed_ = true;
+  rto_timer_.cancel();
+  pacing_timer_.cancel();
+  report_timer_.cancel();
+  stop_timer_.cancel();
+  if (on_complete_) {
+    on_complete_(cfg_.id, loop_->now(), loop_->now() - cfg_.start_time);
+  }
+}
+
+}  // namespace nimbus::sim

@@ -1,0 +1,190 @@
+// Reliable transport endpoint pair over the simulated bottleneck.
+//
+// One TransportFlow object models both the sender and the receiver of a
+// flow: data packets traverse the bottleneck queue, the receiver ACKs every
+// packet (per-packet SACK + cumulative ACK), and ACKs return after the
+// flow's propagation RTT on an uncongested reverse path.
+//
+// Loss recovery: per-packet SACK with a duplicate threshold of 3 (a packet
+// is declared lost once three higher sequences have been SACKed and it has
+// been outstanding for at least ~1 RTT, RACK-style), real retransmissions,
+// and an RFC 6298 RTO with exponential backoff.  The single-FIFO topology
+// never reorders, so dupack-based detection is exact.
+//
+// Window flows (pacing disabled) transmit on ACK arrival — the ACK-clocking
+// property the paper's elasticity detector keys on.  Rate-based flows use a
+// pacing timer.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "sim/cc_interface.h"
+#include "sim/event_loop.h"
+#include "sim/link.h"
+#include "sim/packet.h"
+#include "sim/rate_sampler.h"
+#include "util/rng.h"
+
+namespace nimbus::sim {
+
+class TransportFlow : public CcContext {
+ public:
+  struct Config {
+    FlowId id = 0;                    // 0 = assigned by Network
+    std::uint32_t mss = 1500;
+    TimeNs rtt_prop = from_ms(50);    // two-way propagation delay
+    TimeNs start_time = 0;
+    /// Total application bytes; -1 = backlogged (infinite).
+    std::int64_t app_bytes = -1;
+    /// After this time the app offers no new data (flow drains and idles).
+    TimeNs stop_time = std::numeric_limits<TimeNs>::max();
+    double initial_cwnd_pkts = 10;    // Linux IW10
+    TimeNs report_interval = from_ms(10);  // CCP report cadence
+    TimeNs min_rto = from_ms(200);
+    std::uint64_t seed = 1;           // per-flow RNG stream
+  };
+
+  /// (flow, completion_time, fct) when a finite flow is fully acknowledged.
+  using CompletionHandler = std::function<void(FlowId, TimeNs, TimeNs)>;
+  /// (flow, now, rtt_sample) on every ACK, for experiment recording.
+  using RttSampleHandler = std::function<void(FlowId, TimeNs, TimeNs)>;
+
+  TransportFlow(EventLoop* loop, BottleneckLink* link, Config config,
+                std::unique_ptr<CcAlgorithm> cc);
+  ~TransportFlow() override;
+
+  TransportFlow(const TransportFlow&) = delete;
+  TransportFlow& operator=(const TransportFlow&) = delete;
+
+  /// Schedules the flow start (call once after construction).
+  void start();
+
+  /// Link callback: the flow's data packet finished serialization.
+  void on_link_delivery(const Packet& p, TimeNs dequeue_done);
+
+  /// Adds application data (used by app-limited sources such as video).
+  /// Only meaningful for flows created with app_bytes == 0 initially.
+  void add_app_bytes(std::int64_t bytes);
+
+  void set_completion_handler(CompletionHandler h) { on_complete_ = std::move(h); }
+  void set_rtt_sample_handler(RttSampleHandler h) { on_rtt_sample_ = std::move(h); }
+
+  FlowId id() const { return cfg_.id; }
+  const Config& config() const { return cfg_; }
+  CcAlgorithm& cc() { return *cc_; }
+  bool completed() const { return completed_; }
+  bool started() const { return started_; }
+  std::int64_t acked_bytes() const { return acked_bytes_total_; }
+  std::uint64_t lost_packets() const { return lost_packets_total_; }
+  std::uint64_t sent_packets() const { return sent_packets_total_; }
+  std::uint64_t rto_count() const { return rto_count_; }
+  std::int64_t app_bytes_remaining() const { return app_bytes_remaining_; }
+
+  // --- CcContext ---
+  TimeNs now() const override;
+  std::uint32_t mss() const override { return cfg_.mss; }
+  double cwnd_bytes() const override { return cwnd_bytes_; }
+  void set_cwnd_bytes(double bytes) override;
+  double pacing_rate_bps() const override { return pacing_rate_bps_; }
+  void set_pacing_rate_bps(double bps) override;
+  TimeNs srtt() const override { return srtt_; }
+  TimeNs latest_rtt() const override { return latest_rtt_; }
+  TimeNs min_rtt() const override { return min_rtt_; }
+  std::int64_t bytes_in_flight() const override;
+  bool is_app_limited() const override;
+  double send_rate_bps() const override { return cached_rates_.send_bps; }
+  double recv_rate_bps() const override { return cached_rates_.recv_bps; }
+  bool rates_valid() const override { return cached_rates_.valid; }
+  void set_rate_window_bytes(double bytes) override {
+    rate_window_bytes_ = bytes;
+  }
+  util::Rng& rng() override { return rng_; }
+
+ private:
+  struct SentRecord {
+    TimeNs sent_at;
+    bool retransmit;
+  };
+
+  void begin();
+  void maybe_send();
+  bool can_send() const;
+  void send_one();
+  void handle_ack(const Ack& ack);
+  void detect_losses();
+  void declare_lost(std::uint64_t seq);
+  void update_rtt(TimeNs sample);
+  TimeNs current_rto() const;
+  void arm_or_cancel_rto();
+  void on_rto_fired();
+  void report_tick();
+  void check_completion();
+  std::uint64_t total_packets() const;  // finite flows only
+
+  EventLoop* loop_;
+  BottleneckLink* link_;
+  Config cfg_;
+  std::unique_ptr<CcAlgorithm> cc_;
+  util::Rng rng_;
+
+  bool started_ = false;
+  bool completed_ = false;
+
+  // Sender state.
+  std::uint64_t snd_nxt_ = 0;    // next new sequence to send
+  std::uint64_t snd_una_ = 0;    // lowest unacknowledged sequence
+  std::uint64_t highest_acked_ = 0;
+  bool any_acked_ = false;
+  std::map<std::uint64_t, SentRecord> outstanding_;
+  std::deque<std::uint64_t> retx_queue_;
+  std::uint64_t loss_event_end_ = 0;  // congestion-event dedup boundary
+  std::int64_t app_bytes_remaining_ = 0;
+  bool backlogged_ = false;
+
+  // Receiver state.
+  std::uint64_t rcv_next_ = 0;
+  std::set<std::uint64_t> out_of_order_;
+
+  // Congestion state surface.
+  double cwnd_bytes_ = 0;
+  double pacing_rate_bps_ = 0;
+  TimeNs next_send_time_ = 0;
+
+  // RTT estimation (RFC 6298).
+  TimeNs srtt_ = 0;
+  TimeNs rttvar_ = 0;
+  TimeNs latest_rtt_ = 0;
+  TimeNs min_rtt_ = std::numeric_limits<TimeNs>::max();
+  bool have_rtt_ = false;
+
+  Timer rto_timer_;
+  Timer pacing_timer_;
+  Timer report_timer_;
+  Timer stop_timer_;
+  int rto_backoff_ = 0;
+
+  RateSampler sampler_;
+  RateSampler::Rates cached_rates_;
+  double rate_window_bytes_ = 0;  // 0: use cwnd
+
+  // Report-interval counters.
+  std::uint32_t acked_since_report_ = 0;
+  std::uint32_t lost_since_report_ = 0;
+
+  // Lifetime stats.
+  std::int64_t acked_bytes_total_ = 0;
+  std::uint64_t lost_packets_total_ = 0;
+  std::uint64_t sent_packets_total_ = 0;
+  std::uint64_t rto_count_ = 0;
+
+  CompletionHandler on_complete_;
+  RttSampleHandler on_rtt_sample_;
+};
+
+}  // namespace nimbus::sim

@@ -1,0 +1,21 @@
+// Goertzel algorithm: single-bin DFT evaluation in O(N).
+//
+// Nimbus watchers only need the spectrum at two known frequencies (the
+// pulser's competitive and delay pulsing frequencies), so a full FFT is
+// unnecessary; Goertzel evaluates exactly those bins.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nimbus::spectral {
+
+/// |DFT(signal)| at bin k (same normalization as magnitude_spectrum: the
+/// result is divided by N).
+double goertzel_magnitude(const std::vector<double>& signal, std::size_t k);
+
+/// |DFT| at the bin nearest to f_hz for the given sample rate.
+double goertzel_at_frequency(const std::vector<double>& signal, double f_hz,
+                             double sample_rate_hz);
+
+}  // namespace nimbus::spectral

@@ -1,0 +1,44 @@
+#include "spectral/window.h"
+
+#include <cmath>
+
+namespace nimbus::spectral {
+
+std::vector<double> make_window(WindowType type, std::size_t n) {
+  std::vector<double> w(n, 1.0);
+  if (n <= 1 || type == WindowType::kRect) return w;
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / denom;
+    switch (type) {
+      case WindowType::kRect:
+        break;
+      case WindowType::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(2.0 * M_PI * x);
+        break;
+      case WindowType::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(2.0 * M_PI * x);
+        break;
+      case WindowType::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(2.0 * M_PI * x) +
+               0.08 * std::cos(4.0 * M_PI * x);
+        break;
+    }
+  }
+  return w;
+}
+
+void apply_window(std::vector<double>& signal, WindowType type) {
+  const auto w = make_window(type, signal.size());
+  for (std::size_t i = 0; i < signal.size(); ++i) signal[i] *= w[i];
+}
+
+void remove_mean(std::vector<double>& signal) {
+  if (signal.empty()) return;
+  double mean = 0.0;
+  for (double x : signal) mean += x;
+  mean /= static_cast<double>(signal.size());
+  for (double& x : signal) x -= mean;
+}
+
+}  // namespace nimbus::spectral

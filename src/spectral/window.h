@@ -1,0 +1,30 @@
+// Window functions for spectral analysis.
+//
+// The detector's z(t) window is not synchronized to the pulse phase, so a
+// taper (Hann by default) limits spectral leakage from the strong pulse
+// component into the comparison band (f_p, 2·f_p).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nimbus::spectral {
+
+enum class WindowType {
+  kRect,
+  kHann,
+  kHamming,
+  kBlackman,
+};
+
+/// Window coefficients of length n.
+std::vector<double> make_window(WindowType type, std::size_t n);
+
+/// Multiplies `signal` by the window in place.
+void apply_window(std::vector<double>& signal, WindowType type);
+
+/// Removes the mean in place (the detector looks for AC components; the DC
+/// bin otherwise dominates the spectrum).
+void remove_mean(std::vector<double>& signal);
+
+}  // namespace nimbus::spectral

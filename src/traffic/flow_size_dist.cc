@@ -1,0 +1,82 @@
+#include "traffic/flow_size_dist.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nimbus::traffic {
+
+FlowSizeDist FlowSizeDist::wan() {
+  // Calibrated to backbone-trace statistics: ~60% of flows under 10 KB,
+  // ~1% above 10 MB; the tail carries the majority of bytes.
+  return FlowSizeDist({
+      {0.60, 400, 10e3},
+      {0.25, 10e3, 100e3},
+      {0.10, 100e3, 1e6},
+      {0.04, 1e6, 10e6},
+      {0.01, 10e6, 300e6},
+  });
+}
+
+FlowSizeDist FlowSizeDist::bounded_pareto(double alpha, double lo_bytes,
+                                          double hi_bytes) {
+  FlowSizeDist d({{1.0, lo_bytes, hi_bytes}});
+  d.pareto_ = true;
+  d.pareto_alpha_ = alpha;
+  d.pareto_lo_ = lo_bytes;
+  d.pareto_hi_ = hi_bytes;
+  return d;
+}
+
+FlowSizeDist::FlowSizeDist(std::vector<Band> bands)
+    : bands_(std::move(bands)) {
+  NIMBUS_CHECK(!bands_.empty());
+  double total = 0;
+  for (const auto& b : bands_) {
+    NIMBUS_CHECK(b.weight > 0 && b.hi_bytes > b.lo_bytes && b.lo_bytes > 0);
+    total += b.weight;
+  }
+  NIMBUS_CHECK(std::abs(total - 1.0) < 1e-6);
+}
+
+std::int64_t FlowSizeDist::sample(util::Rng& rng) const {
+  if (pareto_) {
+    return static_cast<std::int64_t>(
+        rng.bounded_pareto(pareto_alpha_, pareto_lo_, pareto_hi_));
+  }
+  double u = rng.uniform();
+  const Band* chosen = &bands_.back();
+  for (const auto& b : bands_) {
+    if (u < b.weight) {
+      chosen = &b;
+      break;
+    }
+    u -= b.weight;
+  }
+  // Log-uniform within the band.
+  const double lo = std::log(chosen->lo_bytes);
+  const double hi = std::log(chosen->hi_bytes);
+  return static_cast<std::int64_t>(std::exp(rng.uniform(lo, hi)));
+}
+
+double FlowSizeDist::mean_bytes() const {
+  if (pareto_) {
+    const double a = pareto_alpha_;
+    const double l = pareto_lo_, h = pareto_hi_;
+    if (std::abs(a - 1.0) < 1e-9) {
+      return l * h / (h - l) * std::log(h / l);
+    }
+    const double la = std::pow(l, a);
+    return la / (1.0 - std::pow(l / h, a)) * a / (a - 1.0) *
+           (1.0 / std::pow(l, a - 1.0) - 1.0 / std::pow(h, a - 1.0));
+  }
+  // Mean of log-uniform on [a,b] is (b-a)/ln(b/a).
+  double mean = 0;
+  for (const auto& b : bands_) {
+    mean += b.weight * (b.hi_bytes - b.lo_bytes) /
+            std::log(b.hi_bytes / b.lo_bytes);
+  }
+  return mean;
+}
+
+}  // namespace nimbus::traffic

@@ -1,0 +1,27 @@
+// Lightweight invariant checking.
+//
+// NIMBUS_CHECK is active in all build types: simulator invariants guard
+// against silent corruption of experiment results, and the cost is
+// negligible next to packet processing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define NIMBUS_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "NIMBUS_CHECK failed: %s at %s:%d\n", #cond,     \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define NIMBUS_CHECK_MSG(cond, msg)                                        \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "NIMBUS_CHECK failed: %s (%s) at %s:%d\n", #cond, \
+                   msg, __FILE__, __LINE__);                                \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)

@@ -1,0 +1,63 @@
+#include "util/csv.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace nimbus::util {
+
+CsvWriter::CsvWriter(std::ostream& out, std::string prefix)
+    : out_(out), prefix_(std::move(prefix)) {}
+
+void CsvWriter::header(std::initializer_list<std::string> cols) {
+  out_ << prefix_;
+  bool first = true;
+  for (const auto& c : cols) {
+    if (!first) out_ << ',';
+    out_ << c;
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  row(std::vector<double>(values));
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  out_ << prefix_;
+  bool first = true;
+  for (double v : values) {
+    if (!first) out_ << ',';
+    out_ << format_num(v);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(std::initializer_list<std::string> labels,
+                    std::initializer_list<double> values) {
+  out_ << prefix_;
+  bool first = true;
+  for (const auto& l : labels) {
+    if (!first) out_ << ',';
+    out_ << l;
+    first = false;
+  }
+  for (double v : values) {
+    if (!first) out_ << ',';
+    out_ << format_num(v);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+std::string format_num(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[64];
+  // %g trims trailing zeros; 6 significant digits is enough for plots.
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace nimbus::util

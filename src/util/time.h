@@ -1,0 +1,50 @@
+// Time types and conversions shared by the whole library.
+//
+// All simulation time is integer nanoseconds (`TimeNs`).  Integer time keeps
+// the event loop deterministic across platforms and avoids floating-point
+// drift in long simulations; rates stay in double bits-per-second.
+#pragma once
+
+#include <cstdint>
+
+namespace nimbus {
+
+using TimeNs = std::int64_t;
+
+inline constexpr TimeNs kNanosPerSec = 1'000'000'000;
+inline constexpr TimeNs kNanosPerMs = 1'000'000;
+inline constexpr TimeNs kNanosPerUs = 1'000;
+
+/// Converts seconds (double) to integer nanoseconds, rounding to nearest.
+constexpr TimeNs from_sec(double s) {
+  return static_cast<TimeNs>(s * static_cast<double>(kNanosPerSec) + 0.5);
+}
+
+/// Converts milliseconds (double) to integer nanoseconds, rounding to nearest.
+constexpr TimeNs from_ms(double ms) {
+  return static_cast<TimeNs>(ms * static_cast<double>(kNanosPerMs) + 0.5);
+}
+
+/// Converts integer nanoseconds to seconds.
+constexpr double to_sec(TimeNs t) {
+  return static_cast<double>(t) / static_cast<double>(kNanosPerSec);
+}
+
+/// Converts integer nanoseconds to milliseconds.
+constexpr double to_ms(TimeNs t) {
+  return static_cast<double>(t) / static_cast<double>(kNanosPerMs);
+}
+
+/// Time to serialize `bytes` at `rate_bps` (bits per second).
+constexpr TimeNs tx_time(std::int64_t bytes, double rate_bps) {
+  return static_cast<TimeNs>(static_cast<double>(bytes) * 8.0 /
+                                 rate_bps * static_cast<double>(kNanosPerSec) +
+                             0.5);
+}
+
+/// Bytes transferable in `dt` at `rate_bps`.
+constexpr double bytes_in(TimeNs dt, double rate_bps) {
+  return rate_bps / 8.0 * to_sec(dt);
+}
+
+}  // namespace nimbus

@@ -1,0 +1,73 @@
+// Time-stamped sample series with resampling and windowed reductions.
+//
+// Experiments record (time, value) pairs — throughput, queueing delay, the
+// cross-traffic estimate z(t) — and the harnesses reduce them to the series
+// the paper plots (1-second throughput buckets, CDFs, FFT input grids).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/time.h"
+
+namespace nimbus::util {
+
+class TimeSeries {
+ public:
+  void add(TimeNs t, double v);
+  std::size_t size() const { return times_.size(); }
+  bool empty() const { return times_.empty(); }
+
+  const std::vector<TimeNs>& times() const { return times_; }
+  const std::vector<double>& values() const { return values_; }
+  TimeNs first_time() const;
+  TimeNs last_time() const;
+
+  /// Mean of samples with t in [t0, t1); 0 if none.
+  double mean_in(TimeNs t0, TimeNs t1) const;
+
+  /// Resamples onto a uniform grid of `n` points spanning [t0, t0+n*dt) by
+  /// zero-order hold (last sample at or before each grid point; the first
+  /// sample is used for grid points before any sample).
+  std::vector<double> resample(TimeNs t0, TimeNs dt, std::size_t n) const;
+
+  /// Buckets samples into fixed windows of width `dt` starting at t0 and
+  /// returns per-bucket means (empty buckets repeat the previous value, or
+  /// 0 at the start).
+  std::vector<double> bucket_means(TimeNs t0, TimeNs t1, TimeNs dt) const;
+
+  /// Values with t in [t0, t1).
+  std::vector<double> values_in(TimeNs t0, TimeNs t1) const;
+
+  void clear();
+
+ private:
+  std::vector<TimeNs> times_;   // non-decreasing
+  std::vector<double> values_;
+};
+
+/// Counter series: record cumulative byte counts and report rates.
+///
+/// `add(t, bytes)` accumulates; `rate_bps(t0, t1)` is the average rate over
+/// the interval.  Used for per-flow throughput accounting.
+class ByteCounter {
+ public:
+  void add(TimeNs t, std::int64_t bytes);
+  std::int64_t total() const { return total_; }
+
+  /// Bytes recorded with t in [t0, t1).
+  std::int64_t bytes_in(TimeNs t0, TimeNs t1) const;
+
+  /// Average rate in bits/s over [t0, t1).
+  double rate_bps(TimeNs t0, TimeNs t1) const;
+
+  /// Per-bucket rates in bits/s across [t0, t1) with bucket width dt.
+  std::vector<double> bucket_rates_bps(TimeNs t0, TimeNs t1, TimeNs dt) const;
+
+ private:
+  std::vector<TimeNs> times_;
+  std::vector<std::int64_t> cumulative_;  // cumulative bytes after the event
+  std::int64_t total_ = 0;
+};
+
+}  // namespace nimbus::util

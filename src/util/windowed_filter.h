@@ -1,0 +1,79 @@
+// Windowed min/max filter over a sliding time window.
+//
+// Used for BBR's max-bandwidth / min-RTT estimators and for Nimbus's
+// bottleneck-rate tracking.  Keeps a monotonic deque of (time, value)
+// samples; query and insert are amortized O(1).
+#pragma once
+
+#include <deque>
+
+#include "util/time.h"
+
+namespace nimbus::util {
+
+struct MaxCompare {
+  static bool dominates(double a, double b) { return a >= b; }
+};
+struct MinCompare {
+  static bool dominates(double a, double b) { return a <= b; }
+};
+
+template <typename Compare>
+class WindowedFilter {
+ public:
+  explicit WindowedFilter(TimeNs window) : window_(window) {}
+
+  void update(TimeNs now, double value) {
+    // Drop samples that left the window.
+    while (!samples_.empty() && samples_.front().time + window_ < now) {
+      samples_.pop_front();
+    }
+    // Drop dominated samples from the back.
+    while (!samples_.empty() && Compare::dominates(value, samples_.back().value)) {
+      samples_.pop_back();
+    }
+    samples_.push_back({now, value});
+  }
+
+  bool empty() const { return samples_.empty(); }
+
+  /// Best (max or min) value currently inside the window.
+  double get(TimeNs now) const {
+    double best = 0.0;
+    bool found = false;
+    for (const auto& s : samples_) {
+      if (s.time + window_ < now) continue;
+      if (!found) {
+        best = s.value;
+        found = true;
+      }
+      // Front of the deque is always the dominating sample among the live
+      // ones, so the first live sample is the answer.
+      if (found) return best;
+    }
+    return best;
+  }
+
+  /// Best value ignoring expiry (latest known best).
+  double get_unexpired() const {
+    return samples_.empty() ? 0.0 : samples_.front().value;
+  }
+
+  void reset() { samples_.clear(); }
+
+  void set_window(TimeNs window) { window_ = window; }
+  TimeNs window() const { return window_; }
+
+ private:
+  struct Sample {
+    TimeNs time;
+    double value;
+  };
+  TimeNs window_;
+  std::deque<Sample> samples_;
+};
+
+using WindowedMax = WindowedFilter<MaxCompare>;
+using WindowedMin = WindowedFilter<MinCompare>;
+
+}  // namespace nimbus::util

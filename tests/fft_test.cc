@@ -1,0 +1,263 @@
+// Tests for the spectral module: FFT correctness against a naive DFT,
+// Parseval's identity, Bluestein arbitrary sizes, Goertzel equivalence,
+// window properties, and the elasticity metric on synthetic signals.
+#include <cmath>
+#include <complex>
+
+#include <gtest/gtest.h>
+
+#include "spectral/fft.h"
+#include "spectral/goertzel.h"
+#include "spectral/spectrum.h"
+#include "spectral/window.h"
+#include "util/rng.h"
+
+namespace nimbus::spectral {
+namespace {
+
+std::vector<Complex> naive_dft(const std::vector<Complex>& x) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex sum(0, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = -2.0 * M_PI * static_cast<double>(k * j) /
+                         static_cast<double>(n);
+      sum += x[j] * Complex(std::cos(ang), std::sin(ang));
+    }
+    out[k] = sum;
+  }
+  return out;
+}
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  return x;
+}
+
+TEST(FftTest, PowersOfTwoHelpers) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(512));
+  EXPECT_FALSE(is_power_of_two(500));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_EQ(next_power_of_two(500), 512u);
+  EXPECT_EQ(next_power_of_two(512), 512u);
+  EXPECT_EQ(next_power_of_two(1), 1u);
+}
+
+class FftSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizeTest, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 42 + n);
+  const auto fast = fft(x);
+  const auto slow = naive_dft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(fast[k].real(), slow[k].real(), 1e-6 * n) << "bin " << k;
+    EXPECT_NEAR(fast[k].imag(), slow[k].imag(), 1e-6 * n) << "bin " << k;
+  }
+}
+
+TEST_P(FftSizeTest, InverseRoundTrip) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 7 + n);
+  const auto back = fft(fft(x), /*inverse=*/true);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(back[k].real(), x[k].real(), 1e-9 * n);
+    EXPECT_NEAR(back[k].imag(), x[k].imag(), 1e-9 * n);
+  }
+}
+
+TEST_P(FftSizeTest, ParsevalIdentity) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 1 + n);
+  const auto spec = fft(x);
+  double time_energy = 0, freq_energy = 0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  for (const auto& v : spec) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-6 * time_energy);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizeTest,
+                         ::testing::Values(1, 2, 4, 8, 64, 256, 512,  // radix2
+                                           3, 5, 100, 500, 499, 750));
+
+TEST(FftTest, ImpulseIsFlat) {
+  std::vector<Complex> x(64, Complex(0, 0));
+  x[0] = Complex(1, 0);
+  const auto spec = fft(x);
+  for (const auto& v : spec) EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+}
+
+TEST(FftTest, PureToneLandsOnBin) {
+  // 5 Hz tone sampled at 100 Hz over 5 s (N=500): bin 25 exactly.
+  const std::size_t n = 500;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * M_PI * 5.0 * static_cast<double>(i) / 100.0);
+  }
+  const auto mags = magnitude_spectrum(x);
+  // Unit sine -> 0.5 at its bin (normalized by N).
+  EXPECT_NEAR(mags[25], 0.5, 1e-9);
+  for (std::size_t k = 0; k < mags.size(); ++k) {
+    if (k != 25) {
+      EXPECT_LT(mags[k], 1e-6) << "bin " << k;
+    }
+  }
+}
+
+TEST(FftTest, DcBinIsMean) {
+  std::vector<double> x(500, 3.25);
+  const auto mags = magnitude_spectrum(x);
+  EXPECT_NEAR(mags[0], 3.25, 1e-12);
+}
+
+TEST(FftTest, BinFrequencyMapping) {
+  EXPECT_DOUBLE_EQ(bin_frequency(25, 500, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(bin_frequency(30, 500, 100.0), 6.0);
+  EXPECT_EQ(frequency_bin(5.0, 500, 100.0), 25u);
+  EXPECT_EQ(frequency_bin(6.0, 500, 100.0), 30u);
+  EXPECT_EQ(frequency_bin(5.09, 500, 100.0), 25u);  // rounds to nearest
+}
+
+// --- Goertzel ---
+
+class GoertzelBinTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GoertzelBinTest, MatchesFftBin) {
+  util::Rng rng(11);
+  std::vector<double> x(500);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  const auto mags = magnitude_spectrum(x);
+  const std::size_t k = GetParam();
+  EXPECT_NEAR(goertzel_magnitude(x, k), mags[k], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, GoertzelBinTest,
+                         ::testing::Values(0, 1, 10, 25, 30, 49, 100, 250));
+
+TEST(GoertzelTest, AtFrequency) {
+  std::vector<double> x(500);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(2.0 * M_PI * 5.0 * static_cast<double>(i) / 100.0);
+  }
+  EXPECT_NEAR(goertzel_at_frequency(x, 5.0, 100.0), 0.5, 1e-9);
+  EXPECT_NEAR(goertzel_at_frequency(x, 7.0, 100.0), 0.0, 1e-9);
+}
+
+// --- windows ---
+
+TEST(WindowTest, RectIsOnes) {
+  const auto w = make_window(WindowType::kRect, 16);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+class WindowTypeTest : public ::testing::TestWithParam<WindowType> {};
+
+TEST_P(WindowTypeTest, SymmetricAndBounded) {
+  const auto w = make_window(GetParam(), 101);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12);
+    EXPECT_GE(w[i], -1e-12);
+    EXPECT_LE(w[i], 1.0 + 1e-12);
+  }
+  // Peak at the center.
+  EXPECT_NEAR(w[50], 1.0, 0.09);
+}
+
+INSTANTIATE_TEST_SUITE_P(Types, WindowTypeTest,
+                         ::testing::Values(WindowType::kHann,
+                                           WindowType::kHamming,
+                                           WindowType::kBlackman));
+
+TEST(WindowTest, HannReducesLeakage) {
+  // An off-bin tone (5.1 Hz with 0.2 Hz resolution) leaks; Hann should
+  // concentrate more energy near the tone than rectangular windowing at
+  // distant bins.
+  const std::size_t n = 500;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * M_PI * 5.1 * static_cast<double>(i) / 100.0);
+  }
+  auto rect = x;
+  const auto rect_mags = magnitude_spectrum(rect);
+  auto hann = x;
+  apply_window(hann, WindowType::kHann);
+  const auto hann_mags = magnitude_spectrum(hann);
+  // Compare leakage at 8 Hz (bin 40), far from the tone.
+  EXPECT_LT(hann_mags[40], rect_mags[40]);
+}
+
+TEST(WindowTest, RemoveMean) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  remove_mean(x);
+  EXPECT_DOUBLE_EQ(x[0], -1.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.0);
+  EXPECT_DOUBLE_EQ(x[2], 1.0);
+}
+
+// --- spectrum + elasticity metric ---
+
+std::vector<double> tone_plus_noise(double f_tone, double amp, double noise,
+                                    std::uint64_t seed, std::size_t n = 500,
+                                    double fs = 100.0) {
+  util::Rng rng(seed);
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = amp * std::sin(2.0 * M_PI * f_tone * static_cast<double>(i) / fs) +
+           rng.normal(0.0, noise);
+  }
+  return x;
+}
+
+TEST(SpectrumTest, DominantFrequency) {
+  const auto x = tone_plus_noise(5.0, 1.0, 0.05, 3);
+  const auto spec = analyze(x, 100.0);
+  EXPECT_NEAR(spec.dominant_frequency(), 5.0, 0.21);
+}
+
+TEST(SpectrumTest, PeakInBand) {
+  const auto x = tone_plus_noise(7.0, 1.0, 0.0, 3);
+  const auto spec = analyze(x, 100.0);
+  EXPECT_GT(spec.peak_in(6.0, 8.0), 0.2);
+  EXPECT_LT(spec.peak_in(10.0, 20.0), 0.01);
+}
+
+TEST(ElasticityEtaTest, StrongToneAtPulseFrequency) {
+  const auto x = tone_plus_noise(5.0, 1.0, 0.1, 5);
+  const auto spec = analyze(x, 100.0);
+  EXPECT_GT(elasticity_eta(spec, 5.0), 3.0);
+}
+
+TEST(ElasticityEtaTest, WhiteNoiseIsInelastic) {
+  const auto x = tone_plus_noise(5.0, 0.0, 1.0, 6);
+  const auto spec = analyze(x, 100.0);
+  EXPECT_LT(elasticity_eta(spec, 5.0), 2.0);
+}
+
+TEST(ElasticityEtaTest, ToneOutsideBandDoesNotCount) {
+  // Energy at 7 Hz (inside the comparison band) should *suppress* eta.
+  const auto x = tone_plus_noise(7.0, 1.0, 0.05, 8);
+  const auto spec = analyze(x, 100.0);
+  EXPECT_LT(elasticity_eta(spec, 5.0), 1.0);
+}
+
+TEST(ElasticityEtaTest, HarmonicsOfAsymmetricPulseIgnored) {
+  // Tone at 5 Hz plus harmonics at 10/15 Hz (asymmetric pulse shape):
+  // harmonics lie outside (5, 10) so eta stays high.
+  util::Rng rng(9);
+  std::vector<double> x(500);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double t = static_cast<double>(i) / 100.0;
+    x[i] = std::sin(2 * M_PI * 5 * t) + 0.5 * std::sin(2 * M_PI * 10 * t) +
+           0.3 * std::sin(2 * M_PI * 15 * t) + rng.normal(0, 0.05);
+  }
+  const auto spec = analyze(x, 100.0);
+  EXPECT_GT(elasticity_eta(spec, 5.0), 3.0);
+}
+
+}  // namespace
+}  // namespace nimbus::spectral

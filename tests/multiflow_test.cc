@@ -1,0 +1,137 @@
+// Tests for the multi-flow pulser/watcher protocol (paper section 6):
+// election, role stability, mode following, and fairness.
+#include <gtest/gtest.h>
+
+#include "cc/cubic.h"
+#include "core/nimbus.h"
+#include "exp/ground_truth.h"
+#include "sim/network.h"
+#include "traffic/raw_sources.h"
+
+namespace nimbus::core {
+namespace {
+
+constexpr double kMu = 96e6;
+constexpr TimeNs kRtt = from_ms(50);
+
+struct MultiHarness {
+  MultiHarness(int n_flows, double mu = kMu)
+      : net(mu, sim::buffer_bytes_for_bdp(mu, kRtt, 2.0)) {
+    for (int i = 0; i < n_flows; ++i) {
+      Nimbus::Config cfg;
+      cfg.known_mu_bps = mu;
+      cfg.multiflow = true;
+      auto algo = std::make_unique<Nimbus>(cfg);
+      nimbus.push_back(algo.get());
+      sim::TransportFlow::Config fc;
+      fc.id = static_cast<sim::FlowId>(i + 1);
+      fc.rtt_prop = kRtt;
+      fc.seed = 100 + static_cast<std::uint64_t>(i);
+      net.add_flow(fc, std::move(algo));
+    }
+  }
+
+  int pulser_count() const {
+    int n = 0;
+    for (const auto* x : nimbus) {
+      if (x->role() == Nimbus::Role::kPulser) ++n;
+    }
+    return n;
+  }
+
+  sim::Network net;
+  std::vector<Nimbus*> nimbus;
+};
+
+TEST(MultiflowTest, ElectionProducesAPulser) {
+  MultiHarness h(3);
+  h.net.run_until(from_sec(30));
+  // At least one pulser emerges after the watchers' initial listen period.
+  EXPECT_GE(h.pulser_count(), 1);
+  EXPECT_LE(h.pulser_count(), 2);  // conflicts are resolved
+}
+
+TEST(MultiflowTest, FlowsShareFairly) {
+  MultiHarness h(3);
+  h.net.run_until(from_sec(90));
+  std::vector<double> rates;
+  for (int i = 1; i <= 3; ++i) {
+    rates.push_back(h.net.recorder()
+                        .delivered(static_cast<sim::FlowId>(i))
+                        .rate_bps(from_sec(30), from_sec(90)));
+  }
+  EXPECT_GT(util::jain_fairness(rates), 0.85);
+  const double total = rates[0] + rates[1] + rates[2];
+  EXPECT_GT(total, 0.8 * kMu);
+}
+
+TEST(MultiflowTest, StaysInDelayModeWithoutElasticCross) {
+  MultiHarness h(3);
+  h.net.run_until(from_sec(90));
+  // Ideal outcome (section 6) is all-delay at low delay; like the paper's
+  // Fig. 16 (red patches), transient wrong-mode excursions happen after
+  // election races, so bound the average rather than demand perfection.
+  const double qd = h.net.recorder().probed_queue_delay().mean_in(
+      from_sec(40), from_sec(90));
+  EXPECT_LT(qd, 60.0);
+  // Delay mode must be reachable and sticky enough to dominate: the mean
+  // queue delay across the run stays well below the 100 ms buffer that
+  // all-competitive operation would produce.
+  EXPECT_GT(qd, 0.5);
+}
+
+TEST(MultiflowTest, SwitchesToCompetitiveAgainstCubicCross) {
+  MultiHarness h(2, 192e6);
+  sim::TransportFlow::Config fc;
+  fc.id = 10;
+  fc.rtt_prop = kRtt;
+  fc.start_time = from_sec(20);
+  h.net.add_flow(fc, std::make_unique<cc::Cubic>());
+  h.net.run_until(from_sec(80));
+  // The aggregate Nimbus share should stay meaningful against the cubic.
+  const double nim_total =
+      (h.net.recorder().delivered(1).rate_bps(from_sec(40), from_sec(80)) +
+       h.net.recorder().delivered(2).rate_bps(from_sec(40), from_sec(80))) /
+      1e6;
+  EXPECT_GT(nim_total, 0.3 * 192.0);
+}
+
+TEST(MultiflowTest, WatcherFollowsPulserMode) {
+  MultiHarness h(2);
+  h.net.run_until(from_sec(60));
+  // Whatever the roles, modes should agree most of the time by then.
+  EXPECT_EQ(h.nimbus[0]->mode(), h.nimbus[1]->mode());
+}
+
+TEST(MultiflowTest, LatecomerBecomesWatcher) {
+  MultiHarness h(1);
+  h.net.run_until(from_sec(30));  // flow 1 becomes pulser
+  EXPECT_EQ(h.nimbus[0]->role(), Nimbus::Role::kPulser);
+
+  Nimbus::Config cfg;
+  cfg.known_mu_bps = kMu;
+  cfg.multiflow = true;
+  auto algo = std::make_unique<Nimbus>(cfg);
+  Nimbus* late = algo.get();
+  sim::TransportFlow::Config fc;
+  fc.id = 2;
+  fc.rtt_prop = kRtt;
+  fc.start_time = from_sec(30);
+  fc.seed = 55;
+  h.net.add_flow(fc, std::move(algo));
+  h.net.run_until(from_sec(70));
+  // The incumbent keeps pulsing; the latecomer hears it and watches.
+  EXPECT_EQ(late->role(), Nimbus::Role::kWatcher);
+  EXPECT_EQ(h.nimbus[0]->role(), Nimbus::Role::kPulser);
+}
+
+TEST(MultiflowTest, ElectionProbabilityScalesWithRate) {
+  // Eq. 5 sanity: p = kappa * tau/FFT * R/mu summed over a window is
+  // bounded by kappa.  Just verify no pulser storm with many flows.
+  MultiHarness h(5);
+  h.net.run_until(from_sec(60));
+  EXPECT_LE(h.pulser_count(), 2);
+}
+
+}  // namespace
+}  // namespace nimbus::core

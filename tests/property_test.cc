@@ -1,0 +1,236 @@
+// Property-style parameterized sweeps over network conditions, asserting
+// the invariants the paper's robustness section (8.2) claims:
+//  * classification accuracy across link rates, RTTs, buffers, pulse sizes
+//  * conservation (aggregate throughput <= mu, high utilization when
+//    backlogged)
+//  * fairness invariance
+#include <gtest/gtest.h>
+
+#include "cc/cubic.h"
+#include "core/nimbus.h"
+#include "exp/ground_truth.h"
+#include "exp/schemes.h"
+#include "sim/network.h"
+#include "sim/pie.h"
+#include "traffic/raw_sources.h"
+
+namespace nimbus {
+namespace {
+
+struct SweepCase {
+  double mu;
+  double rtt_ms;
+  double buf_bdp;
+  bool elastic;
+};
+
+std::string case_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  const auto& c = info.param;
+  return std::to_string(static_cast<int>(c.mu / 1e6)) + "M_" +
+         std::to_string(static_cast<int>(c.rtt_ms)) + "ms_" +
+         std::to_string(static_cast<int>(c.buf_bdp * 100)) + "bdp_" +
+         (c.elastic ? "elastic" : "inelastic");
+}
+
+class DetectionSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(DetectionSweep, ClassifiesCorrectly) {
+  const auto& c = GetParam();
+  const TimeNs rtt = from_ms(c.rtt_ms);
+  sim::Network net(c.mu, sim::buffer_bytes_for_bdp(c.mu, rtt, c.buf_bdp));
+
+  core::Nimbus::Config cfg;
+  cfg.known_mu_bps = c.mu;
+  auto algo = std::make_unique<core::Nimbus>(cfg);
+  core::Nimbus* nptr = algo.get();
+  sim::TransportFlow::Config fc;
+  fc.id = 1;
+  fc.rtt_prop = rtt;
+  net.add_flow(fc, std::move(algo));
+
+  if (c.elastic) {
+    sim::TransportFlow::Config fb;
+    fb.id = 2;
+    fb.rtt_prop = rtt;
+    fb.seed = 7;
+    net.add_flow(fb, std::make_unique<cc::Cubic>());
+  } else {
+    traffic::PoissonSource::Config pc;
+    pc.id = 2;
+    pc.mean_rate_bps = 0.5 * c.mu;
+    pc.seed = 13;
+    net.add_source(std::make_unique<traffic::PoissonSource>(
+        &net.loop(), &net.link(), pc));
+  }
+
+  exp::ModeLog log;
+  exp::attach_nimbus_logger(nptr, &log);
+  net.run_until(from_sec(60));
+
+  const double comp =
+      log.fraction_competitive(from_sec(15), from_sec(60));
+  if (c.elastic) {
+    EXPECT_GT(comp, 0.5) << "should be mostly competitive";
+  } else {
+    EXPECT_LT(comp, 0.25) << "should be mostly delay mode";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Conditions, DetectionSweep,
+    ::testing::Values(
+        // Vary link rate.
+        SweepCase{48e6, 50, 2.0, true}, SweepCase{48e6, 50, 2.0, false},
+        SweepCase{96e6, 50, 2.0, true}, SweepCase{96e6, 50, 2.0, false},
+        SweepCase{192e6, 50, 2.0, true}, SweepCase{192e6, 50, 2.0, false},
+        // Vary RTT.
+        SweepCase{96e6, 25, 2.0, true}, SweepCase{96e6, 25, 2.0, false},
+        SweepCase{96e6, 75, 2.0, true}, SweepCase{96e6, 75, 2.0, false},
+        // Vary buffer depth.
+        SweepCase{96e6, 50, 1.0, true}, SweepCase{96e6, 50, 1.0, false},
+        SweepCase{96e6, 50, 4.0, true}, SweepCase{96e6, 50, 4.0, false}),
+    case_name);
+
+// ---------- conservation properties ----------
+
+struct UtilCase {
+  const char* scheme;
+  double mu;
+};
+
+class UtilizationSweep
+    : public ::testing::TestWithParam<UtilCase> {};
+
+TEST_P(UtilizationSweep, ConservesAndUtilizes) {
+  const auto& c = GetParam();
+  const TimeNs rtt = from_ms(50);
+  sim::Network net(c.mu, sim::buffer_bytes_for_bdp(c.mu, rtt, 2.0));
+  sim::TransportFlow::Config fc;
+  fc.id = 1;
+  fc.rtt_prop = rtt;
+  net.add_flow(fc, exp::make_scheme(c.scheme, c.mu));
+  net.run_until(from_sec(30));
+  const double rate =
+      net.recorder().delivered(1).rate_bps(from_sec(10), from_sec(30));
+  // Conservation: never exceeds the link.
+  EXPECT_LE(rate, c.mu * 1.001);
+  // A backlogged flow should keep the link busy.
+  EXPECT_GT(rate, 0.75 * c.mu);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, UtilizationSweep,
+    ::testing::Values(UtilCase{"cubic", 24e6}, UtilCase{"cubic", 96e6},
+                      UtilCase{"newreno", 48e6}, UtilCase{"bbr", 48e6},
+                      UtilCase{"copa", 48e6}, UtilCase{"vegas", 96e6},
+                      UtilCase{"nimbus", 48e6}, UtilCase{"nimbus", 192e6},
+                      UtilCase{"basic-delay", 96e6}),
+    [](const ::testing::TestParamInfo<UtilCase>& info) {
+      std::string name = std::string(info.param.scheme) + "_" +
+                         std::to_string(
+                             static_cast<int>(info.param.mu / 1e6)) +
+                         "M";
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';  // gtest parameter names: [A-Za-z0-9_]
+      }
+      return name;
+    });
+
+// ---------- homogeneous fairness ----------
+
+class HomogeneousFairness : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(HomogeneousFairness, TwoFlowsConverge) {
+  const std::string scheme = GetParam();
+  sim::Network net(96e6, sim::buffer_bytes_for_bdp(96e6, from_ms(50), 2.0));
+  for (sim::FlowId id : {1u, 2u}) {
+    sim::TransportFlow::Config fc;
+    fc.id = id;
+    fc.rtt_prop = from_ms(50);
+    fc.seed = id * 3 + 1;
+    net.add_flow(fc, exp::make_scheme(scheme, 96e6));
+  }
+  net.run_until(from_sec(60));
+  std::vector<double> rates;
+  for (sim::FlowId id : {1u, 2u}) {
+    rates.push_back(
+        net.recorder().delivered(id).rate_bps(from_sec(20), from_sec(60)));
+  }
+  EXPECT_GT(util::jain_fairness(rates), 0.8) << scheme;
+  EXPECT_GT(rates[0] + rates[1], 0.75 * 96e6) << scheme;
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, HomogeneousFairness,
+                         ::testing::Values("cubic", "newreno", "copa",
+                                           "vegas"));
+
+// ---------- PIE keeps delay near target under load ----------
+
+class PieTargetSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PieTargetSweep, DelayNearTarget) {
+  const double target_ms = GetParam();
+  sim::PieQueue::Config qc;
+  qc.capacity_bytes = sim::buffer_bytes_for_bdp(96e6, from_ms(50), 4.0);
+  qc.link_rate_bps = 96e6;
+  qc.target_delay = from_ms(target_ms);
+  sim::Network net(96e6, std::make_unique<sim::PieQueue>(qc));
+  sim::TransportFlow::Config fc;
+  fc.id = 1;
+  fc.rtt_prop = from_ms(50);
+  net.add_flow(fc, exp::make_scheme("cubic"));
+  net.run_until(from_sec(40));
+  const double qd = net.recorder().probed_queue_delay().mean_in(
+      from_sec(15), from_sec(40));
+  // PIE holds a loss-based flow's queueing near the target (within ~3x),
+  // versus ~100 ms it would reach in a 4 BDP DropTail.
+  EXPECT_LT(qd, 3.0 * target_ms + 10.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, PieTargetSweep,
+                         ::testing::Values(5.0, 15.0, 30.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "target" +
+                                  std::to_string(
+                                      static_cast<int>(info.param)) +
+                                  "ms";
+                         });
+
+// ---------- pulse-size robustness (Fig. 25 slice) ----------
+
+class PulseSizeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PulseSizeSweep, ElasticStillDetected) {
+  const double amp = GetParam();
+  sim::Network net(96e6, sim::buffer_bytes_for_bdp(96e6, from_ms(50), 2.0));
+  core::Nimbus::Config cfg;
+  cfg.known_mu_bps = 96e6;
+  cfg.pulse_amplitude_frac = amp;
+  auto algo = std::make_unique<core::Nimbus>(cfg);
+  core::Nimbus* nptr = algo.get();
+  sim::TransportFlow::Config fc;
+  fc.id = 1;
+  fc.rtt_prop = from_ms(50);
+  net.add_flow(fc, std::move(algo));
+  sim::TransportFlow::Config fb;
+  fb.id = 2;
+  fb.rtt_prop = from_ms(50);
+  fb.seed = 3;
+  net.add_flow(fb, std::make_unique<cc::Cubic>());
+  exp::ModeLog log;
+  exp::attach_nimbus_logger(nptr, &log);
+  net.run_until(from_sec(60));
+  EXPECT_GT(log.fraction_competitive(from_sec(15), from_sec(60)), 0.4)
+      << "pulse amplitude " << amp;
+}
+
+INSTANTIATE_TEST_SUITE_P(Amplitudes, PulseSizeSweep,
+                         ::testing::Values(0.125, 0.25, 0.5),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "amp" +
+                                  std::to_string(
+                                      static_cast<int>(info.param * 1000));
+                         });
+
+}  // namespace
+}  // namespace nimbus

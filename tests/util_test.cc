@@ -1,0 +1,367 @@
+// Unit tests for util: time conversions, RNG, statistics, EWMA, windowed
+// filters, time series, CSV formatting.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+#include "util/ewma.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/time.h"
+#include "util/timeseries.h"
+#include "util/windowed_filter.h"
+
+namespace nimbus {
+namespace {
+
+// --- time ---
+
+TEST(TimeTest, Conversions) {
+  EXPECT_EQ(from_sec(1.0), kNanosPerSec);
+  EXPECT_EQ(from_ms(1.0), kNanosPerMs);
+  EXPECT_DOUBLE_EQ(to_sec(kNanosPerSec), 1.0);
+  EXPECT_DOUBLE_EQ(to_ms(kNanosPerMs), 1.0);
+  EXPECT_EQ(from_ms(12.5), 12'500'000);
+}
+
+TEST(TimeTest, TxTime) {
+  // 1500 bytes at 12 Mbit/s = 1 ms.
+  EXPECT_EQ(tx_time(1500, 12e6), kNanosPerMs);
+  // 1500 bytes at 96 Mbit/s = 125 us.
+  EXPECT_EQ(tx_time(1500, 96e6), 125 * kNanosPerUs);
+}
+
+TEST(TimeTest, BytesIn) {
+  EXPECT_DOUBLE_EQ(bytes_in(from_sec(1), 8e6), 1e6);
+}
+
+// --- rng ---
+
+TEST(RngTest, DeterministicForSameSeed) {
+  util::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  util::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformRange) {
+  util::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanCloseToHalf) {
+  util::Rng rng(7);
+  util::OnlineStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  util::Rng rng(11);
+  util::OnlineStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.exponential(3.0));
+  EXPECT_NEAR(s.mean(), 3.0, 0.1);
+}
+
+TEST(RngTest, ExponentialCoefficientOfVariation) {
+  // Exponential has CV = 1; this distinguishes it from constant spacing.
+  util::Rng rng(13);
+  util::OnlineStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.exponential(1.0));
+  EXPECT_NEAR(s.stddev() / s.mean(), 1.0, 0.05);
+}
+
+TEST(RngTest, NormalMoments) {
+  util::Rng rng(17);
+  util::OnlineStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, BoundedParetoRange) {
+  util::Rng rng(19);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.bounded_pareto(1.2, 10.0, 1000.0);
+    EXPECT_GE(x, 10.0);
+    EXPECT_LE(x, 1000.0);
+  }
+}
+
+TEST(RngTest, BoundedParetoHeavyTail) {
+  // Most mass near the lower bound.
+  util::Rng rng(23);
+  int below_100 = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bounded_pareto(1.2, 10.0, 10000.0) < 100.0) ++below_100;
+  }
+  EXPECT_GT(below_100, n * 8 / 10);
+}
+
+TEST(RngTest, BernoulliProbability) {
+  util::Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, WeightedIndexProportions) {
+  util::Rng rng(31);
+  std::vector<double> w = {1.0, 3.0};
+  int ones = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ones += (rng.weighted_index(w) == 1);
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.01);
+}
+
+TEST(RngTest, SplitStreamsIndependent) {
+  util::Rng parent(37);
+  util::Rng a = parent.split();
+  util::Rng b = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+// --- stats ---
+
+TEST(OnlineStatsTest, Basic) {
+  util::OnlineStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  util::OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(PercentilesTest, OrderStatistics) {
+  util::Percentiles p;
+  for (int i = 100; i >= 1; --i) p.add(i);
+  EXPECT_DOUBLE_EQ(p.min(), 1.0);
+  EXPECT_DOUBLE_EQ(p.max(), 100.0);
+  EXPECT_NEAR(p.median(), 50.5, 1e-9);
+  EXPECT_NEAR(p.percentile(0.95), 95.05, 0.2);
+}
+
+TEST(PercentilesTest, SingleSample) {
+  util::Percentiles p;
+  p.add(7.0);
+  EXPECT_DOUBLE_EQ(p.median(), 7.0);
+  EXPECT_DOUBLE_EQ(p.percentile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(p.percentile(1.0), 7.0);
+}
+
+TEST(PercentilesTest, CdfMonotone) {
+  util::Percentiles p;
+  util::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) p.add(rng.uniform());
+  const auto cdf = p.cdf(11);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].first, cdf[i].first);
+    EXPECT_LT(cdf[i - 1].second, cdf[i].second);
+  }
+}
+
+TEST(JainFairnessTest, PerfectFairness) {
+  EXPECT_DOUBLE_EQ(util::jain_fairness({5, 5, 5, 5}), 1.0);
+}
+
+TEST(JainFairnessTest, WorstCase) {
+  // One flow hogging everything among n flows scores 1/n.
+  EXPECT_NEAR(util::jain_fairness({10, 0, 0, 0}), 0.25, 1e-12);
+}
+
+TEST(JainFairnessTest, Intermediate) {
+  const double j = util::jain_fairness({2, 1});
+  EXPECT_GT(j, 0.5);
+  EXPECT_LT(j, 1.0);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  util::Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-5.0);  // clamps to first bin
+  h.add(50.0);  // clamps to last bin
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+}
+
+// --- ewma ---
+
+TEST(EwmaTest, FirstSampleInitializes) {
+  util::Ewma e(0.1);
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(EwmaTest, ConvergesToConstantInput) {
+  util::Ewma e(0.2);
+  e.add(0.0);
+  for (int i = 0; i < 100; ++i) e.add(5.0);
+  EXPECT_NEAR(e.value(), 5.0, 1e-6);
+}
+
+TEST(TimeEwmaTest, StepResponseTimeConstant) {
+  // After one time constant, response to a step is 1 - 1/e ~ 63%.
+  util::TimeEwma e(1.0);  // tau = 1 s
+  e.add(0, 0.0);
+  TimeNs t = 0;
+  for (int i = 0; i < 100; ++i) {
+    t += from_ms(10);
+    e.add(t, 1.0);
+  }
+  EXPECT_NEAR(e.value(), 1.0 - std::exp(-1.0), 0.02);
+}
+
+TEST(TimeEwmaTest, CutoffAttenuatesHighFrequency) {
+  // A 5 Hz square wave through a 2 Hz low-pass should be strongly
+  // attenuated relative to its input swing.
+  util::TimeEwma e = util::TimeEwma::with_cutoff_hz(2.0);
+  TimeNs t = 0;
+  double mn = 1e9, mx = -1e9;
+  for (int i = 0; i < 2000; ++i) {
+    t += from_ms(1);
+    const double phase = std::fmod(to_sec(t) * 5.0, 1.0);
+    e.add(t, phase < 0.5 ? 0.0 : 1.0);
+    if (i > 1000) {
+      mn = std::min(mn, e.value());
+      mx = std::max(mx, e.value());
+    }
+  }
+  // Single-pole filter at 2 Hz attenuates the 5 Hz fundamental to ~37%;
+  // with harmonics the residual swing stays well under the input's 1.0.
+  EXPECT_LT(mx - mn, 0.65);
+  EXPECT_GT(mx - mn, 0.1);  // but it is not a brick wall
+}
+
+// --- windowed filter ---
+
+TEST(WindowedFilterTest, MaxTracksAndExpires) {
+  util::WindowedMax f(from_sec(1));
+  f.update(from_sec(0), 10.0);
+  f.update(from_ms(500), 5.0);
+  EXPECT_DOUBLE_EQ(f.get_unexpired(), 10.0);
+  // At t=1.2 s the 10 (t=0) has left the 1 s window but the 5 remains.
+  f.update(from_ms(1200), 1.0);
+  EXPECT_DOUBLE_EQ(f.get_unexpired(), 5.0);
+  // At t=2.5 s everything before t=1.5 s has expired.
+  f.update(from_ms(2500), 2.0);
+  EXPECT_DOUBLE_EQ(f.get_unexpired(), 2.0);
+}
+
+TEST(WindowedFilterTest, MinAgainstBruteForce) {
+  util::WindowedMin f(from_ms(100));
+  util::Rng rng(5);
+  std::vector<std::pair<TimeNs, double>> samples;
+  TimeNs t = 0;
+  for (int i = 0; i < 1000; ++i) {
+    t += from_ms(static_cast<double>(rng.uniform_int(1, 10)));
+    const double v = rng.uniform(0, 100);
+    f.update(t, v);
+    samples.emplace_back(t, v);
+    // Brute-force min over the window, over samples still in window at
+    // insertion time.
+    double expect = 1e18;
+    for (const auto& [ts, vs] : samples) {
+      if (ts + from_ms(100) >= t) expect = std::min(expect, vs);
+    }
+    EXPECT_DOUBLE_EQ(f.get_unexpired(), expect) << "at sample " << i;
+  }
+}
+
+// --- timeseries ---
+
+TEST(TimeSeriesTest, MeanInWindow) {
+  util::TimeSeries ts;
+  ts.add(from_sec(1), 1.0);
+  ts.add(from_sec(2), 3.0);
+  ts.add(from_sec(3), 5.0);
+  EXPECT_DOUBLE_EQ(ts.mean_in(from_sec(1), from_sec(3)), 2.0);
+  EXPECT_DOUBLE_EQ(ts.mean_in(from_sec(0), from_sec(10)), 3.0);
+  EXPECT_DOUBLE_EQ(ts.mean_in(from_sec(5), from_sec(10)), 0.0);
+}
+
+TEST(TimeSeriesTest, ResampleZeroOrderHold) {
+  util::TimeSeries ts;
+  ts.add(from_sec(1), 10.0);
+  ts.add(from_sec(2), 20.0);
+  const auto grid = ts.resample(from_sec(0), from_sec(1), 4);
+  ASSERT_EQ(grid.size(), 4u);
+  EXPECT_DOUBLE_EQ(grid[0], 10.0);  // before first: hold first
+  EXPECT_DOUBLE_EQ(grid[1], 10.0);
+  EXPECT_DOUBLE_EQ(grid[2], 20.0);
+  EXPECT_DOUBLE_EQ(grid[3], 20.0);
+}
+
+TEST(TimeSeriesTest, ValuesIn) {
+  util::TimeSeries ts;
+  for (int i = 0; i < 10; ++i) ts.add(from_sec(i), i);
+  const auto v = ts.values_in(from_sec(3), from_sec(6));
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[2], 5.0);
+}
+
+TEST(ByteCounterTest, RatesAndWindows) {
+  util::ByteCounter c;
+  c.add(from_ms(100), 1000);
+  c.add(from_ms(600), 1000);
+  c.add(from_ms(1100), 2000);
+  EXPECT_EQ(c.total(), 4000);
+  EXPECT_EQ(c.bytes_in(0, from_sec(1)), 2000);
+  // 2000 bytes over 1 s = 16 kbit/s.
+  EXPECT_DOUBLE_EQ(c.rate_bps(0, from_sec(1)), 16000.0);
+  const auto buckets = c.bucket_rates_bps(0, from_sec(2), from_sec(1));
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets[0], 16000.0);
+  EXPECT_DOUBLE_EQ(buckets[1], 16000.0);
+}
+
+TEST(ByteCounterTest, EmptyIntervals) {
+  util::ByteCounter c;
+  EXPECT_EQ(c.bytes_in(0, from_sec(1)), 0);
+  EXPECT_DOUBLE_EQ(c.rate_bps(0, from_sec(1)), 0.0);
+}
+
+// --- csv ---
+
+TEST(CsvTest, FormatNum) {
+  EXPECT_EQ(util::format_num(1.5), "1.5");
+  EXPECT_EQ(util::format_num(1000000.0), "1e+06");
+  EXPECT_EQ(util::format_num(0.0), "0");
+}
+
+TEST(CsvTest, RowsAndHeader) {
+  std::ostringstream os;
+  util::CsvWriter w(os, "pfx,");
+  w.header({"a", "b"});
+  w.row({1.0, 2.5});
+  w.row({"label"}, {3.0});
+  EXPECT_EQ(os.str(), "pfx,a,b\npfx,1,2.5\npfx,label,3\n");
+}
+
+}  // namespace
+}  // namespace nimbus
