@@ -3,6 +3,9 @@
 //   2. asymmetric vs symmetric pulses (minimum feasible sending rate);
 //   3. FFT window duration (1-10 s) accuracy trade-off;
 //   4. the 5 s rate reset when switching to competitive mode.
+//
+// Experiments 1, 3, and 4 are independent scenario batches, each run
+// through the ParallelRunner.
 #include <complex>
 
 #include "common.h"
@@ -13,27 +16,32 @@ using namespace nimbus::bench;
 namespace {
 
 // --- 1: time-domain strawman: normalized cross-correlation of S and z ---
-double xcorr_detector(const std::string& kind, TimeNs duration) {
-  const double mu = 96e6;
-  auto net = make_net(mu, 2.0);
-  core::Nimbus::Config cfg;
-  cfg.known_mu_bps = mu;
-  cfg.eta_threshold = 1e9;
-  core::Nimbus* nimbus = add_nimbus(*net, cfg);
+exp::ScenarioSpec xcorr_spec(const std::string& kind, TimeNs duration) {
+  exp::ScenarioSpec spec;
+  spec.name = "ablation/xcorr/" + kind;
+  spec.mu_bps = 96e6;
+  spec.duration = duration;
+  spec.protagonist.use_nimbus_config = true;
+  spec.protagonist.nimbus.eta_threshold = 1e9;
   if (kind == "elastic") {
-    add_cubic_cross(*net, 2);
+    spec.cross.push_back(exp::CrossSpec::flow("cubic", 2));
   } else {
-    add_poisson_cross(*net, 2, 48e6);
+    spec.cross.push_back(exp::CrossSpec::poisson(48e6, 2));
   }
+  return spec;
+}
+
+double xcorr_detector(const exp::ScenarioSpec& spec) {
+  auto built = exp::build_network(spec);
   util::TimeSeries s, z;
-  nimbus->set_status_handler([&](const core::Nimbus::Status& st) {
+  built.nimbus->set_status_handler([&](const core::Nimbus::Status& st) {
     s.add(st.now, st.base_rate_bps);
     z.add(st.now, st.z_bps);
   });
-  net->run_until(duration);
+  built.net->run_until(spec.duration);
   // Max |correlation| of the last 5 s over lags 0..300 ms.
-  const auto sv = s.resample(duration - from_sec(5), from_ms(10), 500);
-  const auto zv = z.resample(duration - from_sec(5), from_ms(10), 500);
+  const auto sv = s.resample(spec.duration - from_sec(5), from_ms(10), 500);
+  const auto zv = z.resample(spec.duration - from_sec(5), from_ms(10), 500);
   auto centered = [](std::vector<double> v) {
     double m = 0;
     for (double x : v) m += x;
@@ -58,39 +66,33 @@ double xcorr_detector(const std::string& kind, TimeNs duration) {
   return best;
 }
 
-// --- 3: FFT duration sweep ---
-double accuracy_with_duration(double fft_sec, const std::string& mix,
-                              TimeNs duration) {
-  core::Nimbus::Config cfg;
-  cfg.fft_duration_sec = fft_sec;
-  return run_accuracy(mix, 96e6, from_ms(50), from_ms(50), 0.5, duration,
-                      64, cfg);
-}
-
 // --- 4: rate reset ---
-double switch_recovery_rate(bool enable_reset, TimeNs duration) {
-  const double mu = 96e6;
-  auto net = make_net(mu, 2.0);
-  core::Nimbus::Config cfg;
-  cfg.known_mu_bps = mu;
-  cfg.enable_rate_reset = enable_reset;
-  add_nimbus(*net, cfg);
-  add_cubic_cross(*net, 2, from_sec(10));
-  net->run_until(duration);
-  // Throughput in the window right after detection should fire.
-  return net->recorder().delivered(1).rate_bps(from_sec(18), from_sec(30)) /
-         1e6;
+exp::ScenarioSpec reset_spec(bool enable_reset, TimeNs duration) {
+  exp::ScenarioSpec spec;
+  spec.name = enable_reset ? "ablation/reset/on" : "ablation/reset/off";
+  spec.mu_bps = 96e6;
+  spec.duration = duration;
+  spec.protagonist.use_nimbus_config = true;
+  spec.protagonist.nimbus.enable_rate_reset = enable_reset;
+  spec.cross.push_back(exp::CrossSpec::flow("cubic", 2, from_sec(10)));
+  return spec;
 }
 
 }  // namespace
 
 int main() {
   const TimeNs duration = dur(60, 30);
+  exp::ParallelRunner runner;
 
   // 1. Frequency vs time domain.
   std::printf("ablation,experiment,variant,value\n");
-  const double xc_e = xcorr_detector("elastic", duration);
-  const double xc_i = xcorr_detector("inelastic", duration);
+  const std::vector<exp::ScenarioSpec> xcorr_specs = {
+      xcorr_spec("elastic", duration), xcorr_spec("inelastic", duration)};
+  const auto xcorr = runner.map<double>(
+      xcorr_specs.size(),
+      [&](std::size_t i) { return xcorr_detector(xcorr_specs[i]); });
+  const double xc_e = xcorr[0];
+  const double xc_i = xcorr[1];
   row("ablation", "xcorr,elastic", {xc_e});
   row("ablation", "xcorr,inelastic", {xc_i});
   // The point of the ablation (section 3.3's rejected first design): the
@@ -112,20 +114,44 @@ int main() {
               asym.min_base_rate(mu) < 0.25 * mu / 2.9,
               "asymmetric pulse is feasible at ~1/3 the base rate");
 
-  // 3. FFT duration.
+  // 3. FFT duration: accuracy of the detector per window length, as a
+  // batch of accuracy scenarios.
+  const std::vector<double> fft_secs = {1.0, 2.0, 5.0, 10.0};
+  std::vector<exp::ScenarioSpec> fft_specs;
+  for (double d : fft_secs) {
+    core::Nimbus::Config cfg;
+    cfg.fft_duration_sec = d;
+    fft_specs.push_back(exp::accuracy_scenario(
+        "poisson", 96e6, from_ms(50), from_ms(50), 0.5, duration, 64, cfg));
+  }
+  const auto accs = exp::run_scenarios<double>(
+      fft_specs, [&](const exp::ScenarioSpec& s, exp::ScenarioRun& run) {
+        return exp::score_accuracy(run, s,
+                                   exp::accuracy_cross_is_elastic("poisson"));
+      });
   double best = 0, at1s = 0;
-  for (double d : {1.0, 2.0, 5.0, 10.0}) {
-    const double acc = accuracy_with_duration(d, "poisson", duration);
-    row("ablation", "fft_duration," + util::format_num(d), {acc});
-    best = std::max(best, acc);
-    if (d == 1.0) at1s = acc;
+  for (std::size_t i = 0; i < fft_secs.size(); ++i) {
+    row("ablation", "fft_duration," + util::format_num(fft_secs[i]),
+        {accs[i]});
+    best = std::max(best, accs[i]);
+    if (fft_secs[i] == 1.0) at1s = accs[i];
   }
   shape_check("ablation_fftdur", best >= at1s,
               "very short FFT windows do not beat the 5 s default");
 
   // 4. Rate reset on switching to competitive.
-  const double with_reset = switch_recovery_rate(true, duration);
-  const double without = switch_recovery_rate(false, duration);
+  const std::vector<exp::ScenarioSpec> reset_specs = {
+      reset_spec(true, duration), reset_spec(false, duration)};
+  const auto recovery = exp::run_scenarios<double>(
+      reset_specs, [](const exp::ScenarioSpec&, exp::ScenarioRun& run) {
+        // Throughput in the window right after detection should fire.
+        return run.built.net->recorder()
+                   .delivered(1)
+                   .rate_bps(from_sec(18), from_sec(30)) /
+               1e6;
+      });
+  const double with_reset = recovery[0];
+  const double without = recovery[1];
   row("ablation", "rate_reset,with", {with_reset});
   row("ablation", "rate_reset,without", {without});
   shape_check("ablation_reset", with_reset > 0.5 * without,

@@ -5,6 +5,12 @@
 //   100-120:16M 120-140:32M 140-160:48M 160-180:16M
 // For each scheme: per-second throughput and queue delay, plus the phase
 // fair-share reference.
+//
+// Each scheme is one ScenarioSpec; the grid runs through the
+// ParallelRunner (NIMBUS_JOBS workers), with CSV rows emitted in scheme
+// order regardless of completion order.
+#include <array>
+
 #include "common.h"
 
 using namespace nimbus;
@@ -27,40 +33,48 @@ double fair_share(const Phase& p) {
   return (kMu - p.poisson_mbps * 1e6) / (p.cubic_flows + 1) / 1e6;
 }
 
-struct Result {
-  double mean_rate_deficit;   // mean |rate - fair| / fair across phases
-  double delay_inelastic_ms;  // mean queue delay in the Poisson-only phases
-};
-
-Result run(const std::string& scheme, TimeNs phase_len) {
-  auto net = make_net(kMu, 2.0);
-  add_protagonist(*net, scheme, kMu);
+exp::ScenarioSpec make_spec(const std::string& scheme, TimeNs phase_len) {
+  exp::ScenarioSpec spec;
+  spec.name = "fig08/" + scheme;
+  spec.mu_bps = kMu;
+  spec.duration = phase_len * 9;
+  spec.protagonist.scheme = scheme;
   sim::FlowId next = 10;
   for (int i = 0; i < 9; ++i) {
     const TimeNs a = phase_len * i, b = phase_len * (i + 1);
     if (kPhases[i].poisson_mbps > 0) {
-      add_poisson_cross(*net, next++, kPhases[i].poisson_mbps * 1e6, a, b);
+      spec.cross.push_back(
+          exp::CrossSpec::poisson(kPhases[i].poisson_mbps * 1e6, next++, a, b));
     }
     for (int c = 0; c < kPhases[i].cubic_flows; ++c) {
-      add_cubic_cross(*net, next++, a, b);
+      spec.cross.push_back(exp::CrossSpec::flow("cubic", next++, a, b));
     }
   }
-  const TimeNs end = phase_len * 9;
-  net->run_until(end);
+  return spec;
+}
 
-  auto& rec = net->recorder();
+struct Result {
+  // One row per second: second, rate_mbps, qdelay_ms, fair_mbps.
+  std::vector<std::array<double, 4>> seconds;
+  double mean_rate_deficit;   // mean |rate - fair| / fair across phases
+  double delay_inelastic_ms;  // mean queue delay in the Poisson-only phases
+};
+
+Result collect(TimeNs phase_len, exp::ScenarioRun& run) {
+  const TimeNs end = phase_len * 9;
+  auto& rec = run.built.net->recorder();
+  Result r{{}, 0, 0};
+
   const auto rates = rec.delivered(1).bucket_rates_bps(0, end, from_sec(1));
   const auto delays =
       rec.probed_queue_delay().bucket_means(0, end, from_sec(1));
   for (std::size_t i = 0; i < rates.size(); ++i) {
     const auto phase = std::min<std::size_t>(
         i / static_cast<std::size_t>(to_sec(phase_len)), 8);
-    row("fig08", scheme,
-        {static_cast<double>(i), rates[i] / 1e6, delays[i],
-         fair_share(kPhases[phase])});
+    r.seconds.push_back({static_cast<double>(i), rates[i] / 1e6, delays[i],
+                         fair_share(kPhases[phase])});
   }
 
-  Result r{0, 0};
   int n_inel = 0;
   for (int i = 0; i < 9; ++i) {
     const TimeNs a = phase_len * i + phase_len / 4, b = phase_len * (i + 1);
@@ -87,18 +101,33 @@ int main() {
                                             "copa", "vivace"}
                  : std::vector<std::string>{"nimbus", "cubic", "vegas",
                                             "copa"};
+  std::vector<exp::ScenarioSpec> specs;
+  for (const auto& s : schemes) specs.push_back(make_spec(s, phase_len));
+
+  const auto results = exp::run_scenarios<Result>(
+      specs,
+      [&](const exp::ScenarioSpec&, exp::ScenarioRun& run) {
+        return collect(phase_len, run);
+      },
+      {},
+      // Fires in scheme order as the completed prefix grows.
+      [&](std::size_t i, Result& r) {
+        for (const auto& sec : r.seconds) {
+          row("fig08", schemes[i], {sec[0], sec[1], sec[2], sec[3]});
+        }
+        row("fig08", "summary_" + schemes[i],
+            {r.mean_rate_deficit, r.delay_inelastic_ms});
+      });
+
   double nimbus_deficit = 0, nimbus_delay = 0;
   double cubic_delay = 0, vegas_deficit = 0;
-  for (const auto& s : schemes) {
-    const auto r = run(s, phase_len);
-    row("fig08", "summary_" + s,
-        {r.mean_rate_deficit, r.delay_inelastic_ms});
-    if (s == "nimbus") {
-      nimbus_deficit = r.mean_rate_deficit;
-      nimbus_delay = r.delay_inelastic_ms;
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    if (schemes[i] == "nimbus") {
+      nimbus_deficit = results[i].mean_rate_deficit;
+      nimbus_delay = results[i].delay_inelastic_ms;
     }
-    if (s == "cubic") cubic_delay = r.delay_inelastic_ms;
-    if (s == "vegas") vegas_deficit = r.mean_rate_deficit;
+    if (schemes[i] == "cubic") cubic_delay = results[i].delay_inelastic_ms;
+    if (schemes[i] == "vegas") vegas_deficit = results[i].mean_rate_deficit;
   }
   shape_check("fig08", nimbus_delay < 0.5 * cubic_delay,
               "nimbus delay vs inelastic phases well below cubic's");

@@ -2,6 +2,10 @@
 // on a 96 Mbit/s, 50 ms, 2 BDP link).  Rate and RTT CDFs per scheme:
 // Nimbus matches Cubic/BBR's throughput at ~50 ms lower median RTT; Vegas
 // and Copa lose throughput.
+//
+// One ScenarioSpec per scheme, run through the ParallelRunner.
+#include <map>
+
 #include "common.h"
 
 using namespace nimbus;
@@ -14,23 +18,26 @@ struct Result {
   util::Percentiles rtt_ms;
 };
 
-Result run(const std::string& scheme, TimeNs duration) {
-  const double mu = 96e6;
-  auto net = make_net(mu, 2.0);
-  add_protagonist(*net, scheme, mu);
-  traffic::FlowWorkload::Config wc;
-  wc.offered_load_fraction = 0.5;
-  wc.seed = 99;
-  traffic::FlowWorkload wl(net.get(), wc);
-  net->run_until(duration);
+exp::ScenarioSpec make_spec(const std::string& scheme, TimeNs duration) {
+  exp::ScenarioSpec spec;
+  spec.name = "fig09/" + scheme;
+  spec.mu_bps = 96e6;
+  spec.duration = duration;
+  spec.protagonist.scheme = scheme;
+  spec.workload_enabled = true;
+  spec.workload.offered_load_fraction = 0.5;
+  spec.workload.seed = 99;
+  return spec;
+}
 
+Result collect(const exp::ScenarioSpec& spec, exp::ScenarioRun& run) {
   Result r;
-  for (double v : exp::rate_series_mbps(net->recorder(), 1, from_sec(10),
-                                        duration)) {
+  const auto& rec = run.built.net->recorder();
+  for (double v :
+       exp::rate_series_mbps(rec, 1, from_sec(10), spec.duration)) {
     r.rate_mbps.add(v);
   }
-  r.rtt_ms.add_all(
-      net->recorder().rtt_samples(1).values_in(from_sec(10), duration));
+  r.rtt_ms.add_all(rec.rtt_samples(1).values_in(from_sec(10), spec.duration));
   return r;
 }
 
@@ -44,8 +51,14 @@ int main() {
                                             "vegas", "copa", "vivace"}
                  : std::vector<std::string>{"nimbus", "cubic", "bbr",
                                             "vegas"};
+  std::vector<exp::ScenarioSpec> specs;
+  for (const auto& s : schemes) specs.push_back(make_spec(s, duration));
+
+  const auto collected = exp::run_scenarios<Result>(specs, collect);
   std::map<std::string, Result> results;
-  for (const auto& s : schemes) results.emplace(s, run(s, duration));
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    results.emplace(schemes[i], collected[i]);
+  }
 
   for (auto& [s, r] : results) {
     exp::print_cdf("fig09,rate", s, r.rate_mbps);

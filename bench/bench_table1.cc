@@ -1,47 +1,43 @@
 // Table 1 (section 7): classification of traffic classes by the detector.
 // For each cross-traffic class, run Nimbus with a fixed (detection-only)
 // configuration and report the elastic-classified fraction of time.
+//
+// One ScenarioSpec per traffic class, run through the ParallelRunner.
 #include "common.h"
-
-#include "cc/const_window.h"
-#include "traffic/video_source.h"
 
 using namespace nimbus;
 using namespace nimbus::bench;
 
 namespace {
 
-double elastic_fraction(const std::string& klass, TimeNs duration) {
-  const double mu = 96e6;
-  auto net = make_net(mu, 2.0);
-  core::Nimbus::Config cfg;
-  cfg.known_mu_bps = mu;
-  core::Nimbus* nimbus = add_nimbus(*net, cfg);
-  exp::ModeLog log;
-  exp::attach_nimbus_logger(nimbus, &log);
+exp::ScenarioSpec make_spec(const std::string& klass, TimeNs duration) {
+  exp::ScenarioSpec spec;
+  spec.name = "table1/" + klass;
+  spec.mu_bps = 96e6;
+  spec.duration = duration;
+  spec.protagonist.use_nimbus_config = true;
 
   if (klass == "cubic" || klass == "reno" || klass == "copa" ||
       klass == "vegas" || klass == "bbr" || klass == "vivace") {
-    sim::TransportFlow::Config fc;
-    fc.id = 2;
-    fc.rtt_prop = from_ms(50);
-    fc.seed = 14;
-    net->add_flow(fc, exp::make_scheme(klass == "reno" ? "newreno" : klass,
-                                       0.0));
+    exp::CrossSpec c =
+        exp::CrossSpec::flow(klass == "reno" ? "newreno" : klass, 2);
+    c.seed = 14;
+    spec.cross.push_back(c);
   } else if (klass == "fixed-window") {
-    sim::TransportFlow::Config fc;
-    fc.id = 2;
-    fc.rtt_prop = from_ms(50);
-    net->add_flow(fc, std::make_unique<cc::ConstWindow>(400));
+    exp::CrossSpec c;
+    c.kind = exp::CrossSpec::Kind::kConstWindow;
+    c.id = 2;
+    c.window_pkts = 400;
+    spec.cross.push_back(c);
   } else if (klass == "app-limited") {
-    traffic::VideoSource::Config vc;
-    vc.bitrate_bps = 12e6;  // far below fair share: app-limited
-    net->add_source(std::make_unique<traffic::VideoSource>(net.get(), vc));
+    exp::CrossSpec c;
+    c.kind = exp::CrossSpec::Kind::kVideo;
+    c.rate_bps = 12e6;  // far below fair share: app-limited
+    spec.cross.push_back(c);
   } else if (klass == "const-stream") {
-    add_cbr_cross(*net, 2, 48e6);
+    spec.cross.push_back(exp::CrossSpec::cbr(48e6, 2));
   }
-  net->run_until(duration);
-  return log.fraction_competitive(from_sec(10), duration);
+  return spec;
 }
 
 }  // namespace
@@ -71,13 +67,27 @@ int main() {
       {"app-limited", "inelastic", false, true},
       {"const-stream", "inelastic", false, true},
   };
-  bool all_strict_ok = true;
+
+  std::vector<exp::ScenarioSpec> scenario_specs;
   for (const auto& s : specs) {
-    const double frac = elastic_fraction(s.klass, duration);
-    std::printf("table1,%s,%s,%s\n", s.klass, s.expected,
-                util::format_num(frac).c_str());
-    if (s.strict) {
-      const bool ok = s.expect_elastic ? frac > 0.5 : frac < 0.5;
+    scenario_specs.push_back(make_spec(s.klass, duration));
+  }
+  const auto fractions = exp::run_scenarios<double>(
+      scenario_specs,
+      [&](const exp::ScenarioSpec&, exp::ScenarioRun& run) {
+        return run.mode_log->fraction_competitive(from_sec(10), duration);
+      },
+      {},
+      [&](std::size_t i, double& frac) {
+        std::printf("table1,%s,%s,%s\n", specs[i].klass, specs[i].expected,
+                    util::format_num(frac).c_str());
+      });
+
+  bool all_strict_ok = true;
+  for (std::size_t i = 0; i < std::size(specs); ++i) {
+    if (specs[i].strict) {
+      const bool ok = specs[i].expect_elastic ? fractions[i] > 0.5
+                                              : fractions[i] < 0.5;
       if (!ok) all_strict_ok = false;
     }
   }

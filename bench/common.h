@@ -4,10 +4,16 @@
 // a SHAPE-CHECK line asserting the qualitative result the paper reports.
 // NIMBUS_BENCH_FULL=1 switches to full-length runs; the default shortens
 // durations/seeds so `for b in build/bench/*; do $b; done` stays tractable.
+//
+// Network assembly lives in the scenario layer (exp/scenario.h): benches
+// either describe experiments declaratively as ScenarioSpecs — batched
+// through the ParallelRunner (exp/runner.h) for multi-core sweeps — or use
+// the imperative builders re-exported below.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -15,6 +21,8 @@
 #include "cc/cubic.h"
 #include "core/nimbus.h"
 #include "exp/ground_truth.h"
+#include "exp/runner.h"
+#include "exp/scenario.h"
 #include "exp/schemes.h"
 #include "exp/summary.h"
 #include "sim/network.h"
@@ -23,6 +31,16 @@
 #include "util/csv.h"
 
 namespace nimbus::bench {
+
+// Subsumed by the scenario layer; re-exported so existing benches keep
+// their call sites (default arguments carry over with the declarations).
+using exp::add_cbr_cross;
+using exp::add_cubic_cross;
+using exp::add_nimbus;
+using exp::add_poisson_cross;
+using exp::add_protagonist;
+using exp::make_net;
+using exp::run_accuracy;
 
 inline bool full_run() {
   const char* env = std::getenv("NIMBUS_BENCH_FULL");
@@ -45,123 +63,6 @@ inline void row(const std::string& fig, const std::string& label,
   std::printf("%s,%s", fig.c_str(), label.c_str());
   for (double v : values) std::printf(",%s", util::format_num(v).c_str());
   std::printf("\n");
-}
-
-/// Standard paper link: rate mu, 50 ms propagation RTT, buffer in BDPs.
-inline std::unique_ptr<sim::Network> make_net(double mu, double buf_bdp = 2.0,
-                                              TimeNs rtt = from_ms(50)) {
-  return std::make_unique<sim::Network>(
-      mu, sim::buffer_bytes_for_bdp(mu, rtt, buf_bdp));
-}
-
-/// Adds the protagonist flow (id 1, tracked) running `scheme`.
-inline sim::TransportFlow* add_protagonist(sim::Network& net,
-                                           const std::string& scheme,
-                                           double known_mu,
-                                           TimeNs rtt = from_ms(50)) {
-  sim::TransportFlow::Config fc;
-  fc.id = 1;
-  fc.rtt_prop = rtt;
-  net.recorder().track_flow(1);
-  return net.add_flow(fc, exp::make_scheme(scheme, known_mu));
-}
-
-/// Adds a Nimbus protagonist and returns the algorithm pointer.
-inline core::Nimbus* add_nimbus(sim::Network& net,
-                                const core::Nimbus::Config& cfg,
-                                sim::FlowId id = 1,
-                                TimeNs rtt = from_ms(50),
-                                TimeNs start = 0) {
-  auto algo = std::make_unique<core::Nimbus>(cfg);
-  core::Nimbus* ptr = algo.get();
-  sim::TransportFlow::Config fc;
-  fc.id = id;
-  fc.rtt_prop = rtt;
-  fc.start_time = start;
-  fc.seed = id * 7 + 1;
-  net.recorder().track_flow(id);
-  net.add_flow(fc, std::move(algo));
-  return ptr;
-}
-
-inline void add_cubic_cross(sim::Network& net, sim::FlowId id,
-                            TimeNs start = 0,
-                            TimeNs stop = std::numeric_limits<TimeNs>::max(),
-                            TimeNs rtt = from_ms(50)) {
-  sim::TransportFlow::Config fc;
-  fc.id = id;
-  fc.rtt_prop = rtt;
-  fc.start_time = start;
-  fc.stop_time = stop;
-  fc.seed = id * 13 + 5;
-  net.add_flow(fc, std::make_unique<cc::Cubic>());
-}
-
-inline void add_poisson_cross(sim::Network& net, sim::FlowId id, double rate,
-                              TimeNs start = 0,
-                              TimeNs stop =
-                                  std::numeric_limits<TimeNs>::max()) {
-  traffic::PoissonSource::Config pc;
-  pc.id = id;
-  pc.mean_rate_bps = rate;
-  pc.start_time = start;
-  pc.stop_time = stop;
-  pc.seed = id * 31 + 3;
-  net.add_source(std::make_unique<traffic::PoissonSource>(&net.loop(),
-                                                          &net.link(), pc));
-}
-
-inline void add_cbr_cross(sim::Network& net, sim::FlowId id, double rate,
-                          TimeNs start = 0,
-                          TimeNs stop = std::numeric_limits<TimeNs>::max()) {
-  traffic::CbrSource::Config cc;
-  cc.id = id;
-  cc.rate_bps = rate;
-  cc.start_time = start;
-  cc.stop_time = stop;
-  net.add_source(std::make_unique<traffic::CbrSource>(&net.loop(),
-                                                      &net.link(), cc));
-}
-
-/// Classification accuracy of a Nimbus flow against constant ground truth.
-inline double run_accuracy(const std::string& cross_kind, double mu,
-                           TimeNs nimbus_rtt, TimeNs cross_rtt,
-                           double cross_share, TimeNs duration,
-                           std::uint64_t seed,
-                           core::Nimbus::Config cfg = {},
-                           double buf_bdp = 2.0) {
-  auto net = make_net(mu, buf_bdp, nimbus_rtt);
-  cfg.known_mu_bps = mu;
-  core::Nimbus* nimbus = add_nimbus(*net, cfg, 1, nimbus_rtt);
-  exp::ModeLog log;
-  exp::attach_nimbus_logger(nimbus, &log);
-
-  exp::GroundTruth truth;
-  bool elastic = false;
-  if (cross_kind == "poisson") {
-    add_poisson_cross(*net, 2, cross_share * mu);
-  } else if (cross_kind == "cbr") {
-    add_cbr_cross(*net, 2, cross_share * mu);
-  } else if (cross_kind == "newreno" || cross_kind == "cubic") {
-    sim::TransportFlow::Config fc;
-    fc.id = 2;
-    fc.rtt_prop = cross_rtt;
-    fc.seed = seed;
-    net->add_flow(fc, exp::make_scheme(cross_kind));
-    elastic = true;
-  } else if (cross_kind == "mix") {
-    add_poisson_cross(*net, 2, cross_share * mu / 2);
-    sim::TransportFlow::Config fc;
-    fc.id = 3;
-    fc.rtt_prop = cross_rtt;
-    fc.seed = seed;
-    net->add_flow(fc, exp::make_scheme("newreno"));
-    elastic = true;
-  }
-  truth.add_interval(0, duration, elastic);
-  net->run_until(duration);
-  // Skip warmup: one FFT window plus smoothing.
-  return log.accuracy(truth, from_sec(10), duration);
 }
 
 }  // namespace nimbus::bench

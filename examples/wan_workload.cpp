@@ -3,16 +3,17 @@
 // load.  Compares Nimbus with Cubic and Vegas on throughput and delay, and
 // shows the elasticity metric tracking the workload's elastic phases.
 //
+// Each scheme is one declarative ScenarioSpec (exp/scenario.h); the three
+// runs go through the ParallelRunner (exp/runner.h), so on a multi-core
+// host the comparison takes one scheme's wall-clock time.
+//
 //   $ ./examples/wan_workload [duration_seconds]
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/nimbus.h"
-#include "exp/ground_truth.h"
-#include "exp/schemes.h"
+#include "exp/runner.h"
+#include "exp/scenario.h"
 #include "exp/summary.h"
-#include "sim/network.h"
-#include "traffic/flow_workload.h"
 
 using namespace nimbus;
 
@@ -23,44 +24,34 @@ struct Outcome {
   double accuracy;  // only meaningful for nimbus
 };
 
-Outcome run(const std::string& scheme, TimeNs duration) {
-  const double mu = 96e6;
-  sim::Network net(mu, sim::buffer_bytes_for_bdp(mu, from_ms(50), 2.0));
+exp::ScenarioSpec make_spec(const std::string& scheme, TimeNs duration) {
+  exp::ScenarioSpec spec;
+  spec.name = "wan/" + scheme;
+  spec.mu_bps = 96e6;
+  spec.duration = duration;
+  spec.protagonist.scheme = scheme;
+  spec.workload_enabled = true;
+  spec.workload.offered_load_fraction = 0.5;
+  spec.workload.seed = 1234;
+  return spec;
+}
 
-  core::Nimbus* nimbus = nullptr;
-  sim::TransportFlow::Config fc;
-  fc.id = 1;
-  fc.rtt_prop = from_ms(50);
-  net.recorder().track_flow(1);
-  auto algo = exp::make_scheme(scheme, mu);
-  if (scheme == "nimbus") nimbus = dynamic_cast<core::Nimbus*>(algo.get());
-  net.add_flow(fc, std::move(algo));
-
-  traffic::FlowWorkload::Config wc;
-  wc.offered_load_fraction = 0.5;
-  wc.seed = 1234;
-  traffic::FlowWorkload workload(&net, wc);
-
-  exp::ModeLog mode_log;
-  if (nimbus) exp::attach_nimbus_logger(nimbus, &mode_log);
-
-  net.run_until(duration);
-
+Outcome collect(const exp::ScenarioSpec& spec, exp::ScenarioRun& run) {
+  const auto& rec = run.built.net->recorder();
   Outcome out;
-  out.summary = exp::summarize_flow(net.recorder(), 1, from_sec(10),
-                                    duration);
+  out.summary = exp::summarize_flow(rec, 1, from_sec(10), spec.duration);
   out.accuracy = 0;
-  if (nimbus) {
+  if (run.built.nimbus != nullptr) {
     // Score mode decisions against the workload's byte-weighted truth in
     // clear-cut seconds.
     int agree = 0, total = 0;
-    for (int t = 10; t < static_cast<int>(to_sec(duration)); ++t) {
+    for (int t = 10; t < static_cast<int>(to_sec(spec.duration)); ++t) {
       const TimeNs a = from_sec(t), b = from_sec(t + 1);
       const double frac =
-          workload.elastic_byte_fraction(net.recorder(), a, b);
+          run.built.workload->elastic_byte_fraction(rec, a, b);
       if (frac > 0.3 && frac < 0.7) continue;
       ++total;
-      if ((mode_log.fraction_competitive(a, b) > 0.5) == (frac >= 0.7)) {
+      if ((run.mode_log->fraction_competitive(a, b) > 0.5) == (frac >= 0.7)) {
         ++agree;
       }
     }
@@ -74,18 +65,23 @@ Outcome run(const std::string& scheme, TimeNs duration) {
 int main(int argc, char** argv) {
   const double seconds = argc > 1 ? std::atof(argv[1]) : 60.0;
   const TimeNs duration = from_sec(seconds);
+  const std::vector<std::string> schemes = {"nimbus", "cubic", "vegas"};
+  std::vector<exp::ScenarioSpec> specs;
+  for (const auto& s : schemes) specs.push_back(make_spec(s, duration));
+
   std::printf("scheme       rate    mean RTT  median RTT   p95 RTT\n");
-  Outcome nimbus{}, cubic{}, vegas{};
-  for (const std::string scheme : {"nimbus", "cubic", "vegas"}) {
-    const auto o = run(scheme, duration);
-    std::printf("%-10s %6.1f M %8.1f ms %8.1f ms %8.1f ms\n",
-                scheme.c_str(), o.summary.mean_rate_mbps,
-                o.summary.mean_rtt_ms, o.summary.median_rtt_ms,
-                o.summary.p95_rtt_ms);
-    if (scheme == "nimbus") nimbus = o;
-    if (scheme == "cubic") cubic = o;
-    if (scheme == "vegas") vegas = o;
-  }
+  const auto outcomes = exp::run_scenarios<Outcome>(
+      specs, collect, {},
+      [&](std::size_t i, Outcome& o) {
+        std::printf("%-10s %6.1f M %8.1f ms %8.1f ms %8.1f ms\n",
+                    schemes[i].c_str(), o.summary.mean_rate_mbps,
+                    o.summary.mean_rtt_ms, o.summary.median_rtt_ms,
+                    o.summary.p95_rtt_ms);
+      });
+
+  const Outcome& nimbus = outcomes[0];
+  const Outcome& cubic = outcomes[1];
+  const Outcome& vegas = outcomes[2];
   std::printf("\nnimbus classification accuracy (clear-cut seconds): %.0f%%\n",
               nimbus.accuracy * 100);
   std::printf(

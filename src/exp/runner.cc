@@ -1,0 +1,99 @@
+#include "exp/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace nimbus::exp {
+
+int resolve_jobs(int jobs) {
+  if (jobs > 0) return jobs;
+  if (const char* env = std::getenv("NIMBUS_JOBS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+  // splitmix64 over base + index: distinct, scheduling-independent streams.
+  return mix_seed(base + 0x9e3779b97f4a7c15ULL * index);
+}
+
+ParallelRunner::ParallelRunner() : ParallelRunner(Options{}) {}
+
+ParallelRunner::ParallelRunner(Options opts)
+    : jobs_(resolve_jobs(opts.jobs)), serial_(opts.serial) {}
+
+void ParallelRunner::for_each(std::size_t n,
+                              const std::function<void(std::size_t)>& task,
+                              const std::function<void(std::size_t)>& on_done) {
+  if (n == 0) return;
+  const int workers =
+      serial_ ? 1
+              : static_cast<int>(std::min<std::size_t>(
+                    static_cast<std::size_t>(jobs_), n));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      task(i);
+      if (on_done) on_done(i);
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex mu;  // guards done/next_report/error state and on_done calls
+  std::vector<char> done(n, 0);
+  std::size_t next_report = 0;
+  std::exception_ptr first_error;
+  std::size_t first_failed = n;  // lowest index whose task or cb threw
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        task(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!first_error) first_error = std::current_exception();
+        first_failed = std::min(first_failed, i);
+        next.store(n, std::memory_order_relaxed);  // stop issuing new work
+        return;
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      done[i] = 1;
+      if (on_done) {
+        // Drain the completed in-order prefix, but never past a failed
+        // index: the serial path reports every task before the throwing
+        // one and none after, and the parallel path must match.
+        try {
+          while (next_report < n && next_report < first_failed &&
+                 done[next_report]) {
+            on_done(next_report);
+            ++next_report;
+          }
+        } catch (...) {
+          // Callbacks must fail like the serial path: capture and rethrow
+          // on the caller's thread, never terminate a worker.
+          if (!first_error) first_error = std::current_exception();
+          first_failed = std::min(first_failed, next_report);
+          next.store(n, std::memory_order_relaxed);
+          return;
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace nimbus::exp

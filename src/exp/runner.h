@@ -1,0 +1,102 @@
+// Parallel experiment execution.
+//
+// Scenarios are embarrassingly parallel: each one owns its Network (and
+// therefore its EventLoop, RNG streams, and recorder), so a batch of specs
+// can run across a thread pool with zero shared mutable state.  The runner
+// guarantees:
+//   * stable ordering — results land at the index of their spec, and the
+//     result callback fires in spec order regardless of completion order;
+//   * deterministic seeding — derive_seed(base, i) gives per-scenario base
+//     seeds that do not depend on thread scheduling;
+//   * a serial reference path (Options::serial, or jobs = 1) that executes
+//     in spec order on the calling thread, used by tests to assert
+//     parallel == serial.
+//
+// Worker count: Options::jobs if > 0, else the NIMBUS_JOBS environment
+// variable, else std::thread::hardware_concurrency().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "exp/scenario.h"
+
+namespace nimbus::exp {
+
+/// Resolves a job count: `jobs` if > 0, else NIMBUS_JOBS, else hardware
+/// concurrency (at least 1).
+int resolve_jobs(int jobs = 0);
+
+/// Deterministic per-scenario seed derivation (splitmix64 of base + index).
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index);
+
+class ParallelRunner {
+ public:
+  struct Options {
+    int jobs = 0;         // 0 = NIMBUS_JOBS, then hardware_concurrency
+    bool serial = false;  // reference path: in-order on the calling thread
+  };
+
+  ParallelRunner();  // default options
+  explicit ParallelRunner(Options opts);
+
+  /// Runs task(i) for every i in [0, n); blocks until all complete.  The
+  /// optional on_done(i) fires exactly once per successful task,
+  /// serialized and in index order (task i's callback runs only after
+  /// tasks 0..i-1 reported).  The first exception thrown by a task or
+  /// callback is rethrown here after the pool drains; callbacks stop at
+  /// the lowest failed index, matching the serial path (which reports
+  /// every task before the throwing one and none after).
+  void for_each(std::size_t n, const std::function<void(std::size_t)>& task,
+                const std::function<void(std::size_t)>& on_done = nullptr);
+
+  /// Maps indices to results, in input order.  `on_result` fires in index
+  /// order (serialized) as the completed prefix grows.
+  template <typename R>
+  std::vector<R> map(
+      std::size_t n, const std::function<R(std::size_t)>& fn,
+      const std::function<void(std::size_t, R&)>& on_result = nullptr) {
+    // Workers write out[i] concurrently; std::vector<bool> packs bits into
+    // shared words, which would be a data race.  Map to char/int instead.
+    static_assert(!std::is_same_v<R, bool>,
+                  "ParallelRunner::map<bool> races on vector<bool> storage");
+    std::vector<R> out(n);
+    std::function<void(std::size_t)> done;
+    if (on_result) done = [&](std::size_t i) { on_result(i, out[i]); };
+    for_each(n, [&](std::size_t i) { out[i] = fn(i); }, done);
+    return out;
+  }
+
+  int jobs() const { return jobs_; }
+  bool serial() const { return serial_; }
+
+ private:
+  int jobs_;
+  bool serial_;
+};
+
+/// Builds and runs every spec (each scenario gets its own network/loop),
+/// reduces each finished run to an R via `collect` (called on the worker
+/// thread, with the network still alive), and returns the Rs in spec
+/// order.  `on_result` fires in spec order — benches print CSV rows from
+/// it without interleaving.
+template <typename R>
+std::vector<R> run_scenarios(
+    const std::vector<ScenarioSpec>& specs,
+    const std::function<R(const ScenarioSpec&, ScenarioRun&)>& collect,
+    ParallelRunner::Options opts = {},
+    const std::function<void(std::size_t, R&)>& on_result = nullptr) {
+  ParallelRunner runner(opts);
+  return runner.map<R>(
+      specs.size(),
+      [&](std::size_t i) {
+        ScenarioRun run = run_scenario(specs[i]);
+        return collect(specs[i], run);
+      },
+      on_result);
+}
+
+}  // namespace nimbus::exp

@@ -6,6 +6,7 @@
 // return over an uncongested reverse path.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -56,6 +57,12 @@ class Network {
 
   /// Allocates a fresh flow id (for sources constructed by the caller).
   FlowId next_flow_id() { return next_id_++; }
+
+  /// Marks an explicitly-numbered id as taken so next_flow_id() skips it.
+  /// add_flow does this automatically; sources registered with an explicit
+  /// id (CBR/Poisson) must reserve theirs or later auto-allocated ids can
+  /// collide and silently merge flows in the recorder.
+  void reserve_flow_id(FlowId id) { next_id_ = std::max(next_id_, id + 1); }
 
   /// Runs the simulation until simulated time `t_end`.
   void run_until(TimeNs t_end);

@@ -13,7 +13,7 @@ VideoSource::VideoSource(sim::Network* net, Config cfg)
                                            to_sec(cfg_.chunk_duration));
 
   sim::TransportFlow::Config fc;
-  fc.id = net_->next_flow_id();
+  fc.id = cfg_.id != 0 ? cfg_.id : net_->next_flow_id();
   fc.rtt_prop = cfg_.rtt_prop;
   fc.start_time = cfg_.start_time;
   fc.app_bytes = 0;  // app-driven: data arrives via add_app_bytes

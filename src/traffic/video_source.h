@@ -26,6 +26,7 @@ namespace nimbus::traffic {
 class VideoSource final : public sim::TrafficSource {
  public:
   struct Config {
+    sim::FlowId id = 0;                // transport flow id; 0 = allocated
     double bitrate_bps = 4e6;          // encoding bitrate
     TimeNs chunk_duration = from_sec(4);
     int initial_buffer_chunks = 3;     // fetched back-to-back at start
