@@ -1,11 +1,21 @@
 // Microbenchmarks (google-benchmark) for the primitives on the simulator's
 // and detector's hot paths: FFT (radix-2 and Bluestein), Goertzel, the
-// elasticity evaluation, the event loop, queue disciplines, and a full
-// packet-level simulation second.
+// elasticity evaluation, the event loop, queue disciplines, and end-to-end
+// scenario throughput.
+//
+// The event-loop benchmarks run each workload against both the current
+// allocation-free core (sim::EventLoop) and the seed implementation
+// (bench/legacy_event_loop.h: priority_queue + unordered_map<id,
+// std::function>), so `scripts/bench_report.sh` can report before/after
+// events-per-second from a single binary.  All report items/sec:
+//   *EventLoop* benches      -> events processed (or scheduled) per second
+//   *SimulatedSecond* benches -> simulated seconds per wall second
 #include <benchmark/benchmark.h>
 
 #include "cc/cubic.h"
 #include "core/elasticity.h"
+#include "exp/scenario.h"
+#include "legacy_event_loop.h"
 #include "sim/event_loop.h"
 #include "sim/network.h"
 #include "spectral/fft.h"
@@ -61,18 +71,172 @@ void BM_ElasticityEvaluate(benchmark::State& state) {
 }
 BENCHMARK(BM_ElasticityEvaluate);
 
-void BM_EventLoopScheduleFire(benchmark::State& state) {
+// --- event loop: current core vs seed baseline --------------------------
+
+// An ACK-sized payload (pointer + 48 bytes), the hottest real capture.
+template <typename Counter>
+struct AckSizedEvent {
+  Counter* counter;
+  double pad[6];
+  void operator()() const { ++*counter; }
+};
+
+// Schedule a burst of events at pseudo-random times, then drain.  The
+// random times exercise real heap traffic (monotone times degenerate to
+// append-only).  Items = events processed.
+template <typename Loop>
+void schedule_fire_workload(benchmark::State& state) {
+  constexpr int kEvents = 4096;
+  util::Rng rng(11);
+  std::vector<TimeNs> delays(kEvents);
+  for (auto& d : delays) {
+    d = 1 + static_cast<TimeNs>(rng.uniform() * 1e9);
+  }
+  std::uint64_t count = 0;
   for (auto _ : state) {
-    sim::EventLoop loop;
-    int count = 0;
-    for (int i = 0; i < 1000; ++i) {
-      loop.schedule(from_ms(i), [&count]() { ++count; });
+    Loop loop;
+    for (int i = 0; i < kEvents; ++i) {
+      loop.schedule_in(delays[static_cast<std::size_t>(i)],
+                       AckSizedEvent<std::uint64_t>{&count, {}});
     }
-    loop.run();
+    loop.run_until(from_sec(2));
     benchmark::DoNotOptimize(count);
   }
+  state.SetItemsProcessed(state.iterations() * kEvents);
+}
+
+// Steady-state throughput: a fixed population of self-rescheduling events
+// (the shape of a long simulation — every transmission, ACK, and timer
+// reschedules something).  The loop is warmed up first, so the pool and
+// heap are at their high-water marks and the current core runs its
+// zero-allocation path; the legacy core pays its per-event allocator and
+// hash-map traffic.  This is the headline "events per second" number in
+// BENCH_*.json.  Items = events processed.
+template <typename Loop>
+void steady_state_workload(benchmark::State& state) {
+  constexpr int kActive = 1024;          // concurrent pending events
+  constexpr TimeNs kMaxGap = from_ms(2); // uniform delay in [1, 2 ms)
+  Loop loop;
+  std::uint64_t count = 0;
+  struct Tick {
+    Loop* loop;
+    std::uint64_t* count;
+    std::uint64_t rng;  // xorshift64 stream, one per event chain
+    double pad[4];      // pad to ACK size (56 bytes)
+    void operator()() {
+      ++*count;
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      const TimeNs delay =
+          1 + static_cast<TimeNs>(rng % static_cast<std::uint64_t>(kMaxGap));
+      loop->schedule_in(delay, *this);
+    }
+  };
+  for (int i = 0; i < kActive; ++i) {
+    loop.schedule_in(1 + i,
+                     Tick{&loop, &count,
+                          0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1),
+                          {}});
+  }
+  loop.run_until(loop.now() + from_ms(50));  // warm-up to steady state
+  std::uint64_t processed = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = loop.processed_events();
+    loop.run_until(loop.now() + from_ms(20));
+    processed += loop.processed_events() - before;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(processed));
+  benchmark::DoNotOptimize(count);
+}
+
+void BM_EventLoopSteadyState(benchmark::State& state) {
+  steady_state_workload<sim::EventLoop>(state);
+}
+BENCHMARK(BM_EventLoopSteadyState);
+
+void BM_EventLoopSteadyStateLegacy(benchmark::State& state) {
+  steady_state_workload<bench::LegacyEventLoop>(state);
+}
+BENCHMARK(BM_EventLoopSteadyStateLegacy);
+
+void BM_EventLoopScheduleFire(benchmark::State& state) {
+  schedule_fire_workload<sim::EventLoop>(state);
 }
 BENCHMARK(BM_EventLoopScheduleFire);
+
+void BM_EventLoopScheduleFireLegacy(benchmark::State& state) {
+  schedule_fire_workload<bench::LegacyEventLoop>(state);
+}
+BENCHMARK(BM_EventLoopScheduleFireLegacy);
+
+// Schedule + cancel churn: each new event cancels the previous pending
+// one, so all but the last are cancelled before firing (the transport
+// RTO / pacing pattern).  Items = scheduled events.
+template <typename Loop>
+void churn_workload(benchmark::State& state) {
+  constexpr int kEvents = 4096;
+  util::Rng rng(13);
+  std::vector<TimeNs> delays(kEvents);
+  for (auto& d : delays) {
+    d = 1 + static_cast<TimeNs>(rng.uniform() * 1e9);
+  }
+  std::uint64_t count = 0;
+  for (auto _ : state) {
+    Loop loop;
+    std::uint64_t pending_id = 0;
+    bool have_pending = false;
+    for (int i = 0; i < kEvents; ++i) {
+      if (have_pending) loop.cancel(pending_id);
+      pending_id = loop.schedule_in(delays[static_cast<std::size_t>(i)],
+                                    AckSizedEvent<std::uint64_t>{&count, {}});
+      have_pending = true;
+    }
+    loop.run_until(from_sec(2));
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * kEvents);
+}
+
+void BM_EventLoopChurn(benchmark::State& state) {
+  churn_workload<sim::EventLoop>(state);
+}
+BENCHMARK(BM_EventLoopChurn);
+
+void BM_EventLoopChurnLegacy(benchmark::State& state) {
+  churn_workload<bench::LegacyEventLoop>(state);
+}
+BENCHMARK(BM_EventLoopChurnLegacy);
+
+// Per-ACK RTO rearming: the timer is re-armed on every "ACK" and only
+// fires once at the end.  Items = rearm operations.
+template <typename Loop, typename TimerT>
+void timer_rearm_workload(benchmark::State& state) {
+  constexpr int kRearms = 4096;
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    Loop loop;
+    TimerT rto(&loop);
+    for (int i = 0; i < kRearms; ++i) {
+      rto.arm_in(from_ms(200), [&fired]() { ++fired; });
+    }
+    loop.run_until(from_sec(1));
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * kRearms);
+}
+
+void BM_TimerRearm(benchmark::State& state) {
+  timer_rearm_workload<sim::EventLoop, sim::Timer>(state);
+}
+BENCHMARK(BM_TimerRearm);
+
+void BM_TimerRearmLegacy(benchmark::State& state) {
+  timer_rearm_workload<bench::LegacyEventLoop, bench::LegacyTimer>(state);
+}
+BENCHMARK(BM_TimerRearmLegacy);
+
+// --- queue disc ---------------------------------------------------------
 
 void BM_DropTailEnqueueDequeue(benchmark::State& state) {
   sim::DropTailQueue q(1 << 24);
@@ -85,6 +249,8 @@ void BM_DropTailEnqueueDequeue(benchmark::State& state) {
 }
 BENCHMARK(BM_DropTailEnqueueDequeue);
 
+// --- end-to-end scenario throughput -------------------------------------
+
 void BM_SimulatedSecondCubic(benchmark::State& state) {
   // Cost of simulating one second of a saturated 96 Mbit/s link.
   for (auto _ : state) {
@@ -96,8 +262,35 @@ void BM_SimulatedSecondCubic(benchmark::State& state) {
     net.run_until(from_sec(1));
     benchmark::DoNotOptimize(net.recorder().delivered(1).total());
   }
+  state.SetItemsProcessed(state.iterations());  // simulated seconds
 }
 BENCHMARK(BM_SimulatedSecondCubic)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatedSecondScenario(benchmark::State& state) {
+  // A fig08-style scenario slice: Nimbus protagonist + Poisson + Cubic
+  // cross traffic on 96 Mbit/s, 10 simulated seconds per iteration.
+  // items/sec = simulated seconds per wall second.
+  constexpr double kSimSeconds = 10.0;
+  exp::ScenarioSpec spec;
+  spec.name = "bench/scenario-slice";
+  spec.mu_bps = 96e6;
+  spec.duration = from_sec(kSimSeconds);
+  spec.protagonist.use_nimbus_config = true;
+  spec.cross.push_back(exp::CrossSpec::poisson(16e6, 2));
+  spec.cross.push_back(exp::CrossSpec::flow("cubic", 3));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    exp::ScenarioRun run = exp::run_scenario(spec);
+    events += run.built.net->loop().processed_events();
+    benchmark::DoNotOptimize(run.built.net->loop().processed_events());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kSimSeconds));
+  state.counters["events_per_sim_sec"] = benchmark::Counter(
+      static_cast<double>(events) /
+      (static_cast<double>(state.iterations()) * kSimSeconds));
+}
+BENCHMARK(BM_SimulatedSecondScenario)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace nimbus

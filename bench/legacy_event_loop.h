@@ -1,0 +1,116 @@
+// The seed event core (commit 80dcab9), kept verbatim as an in-binary
+// baseline so bench_micro can measure the rewrite's speedup on the same
+// host and compiler in one run.  `scripts/bench_report.sh` reports the
+// legacy-vs-current ratio as the "before/after" events-per-second numbers
+// in BENCH_*.json.  Bench-only: nothing in src/ may include this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+#include "util/time.h"
+
+namespace nimbus::bench {
+
+using LegacyEventId = std::uint64_t;
+
+class LegacyEventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  LegacyEventId schedule(TimeNs t, Callback cb) {
+    NIMBUS_CHECK_MSG(t >= now_, "cannot schedule events in the past");
+    const LegacyEventId id = next_id_++;
+    heap_.push({t, id});
+    callbacks_.emplace(id, std::move(cb));
+    return id;
+  }
+
+  LegacyEventId schedule_in(TimeNs delay, Callback cb) {
+    return schedule(now_ + delay, std::move(cb));
+  }
+
+  void cancel(LegacyEventId id) { callbacks_.erase(id); }
+
+  void run_until(TimeNs t_end) {
+    stopped_ = false;
+    while (!stopped_ && !heap_.empty()) {
+      const HeapEntry top = heap_.top();
+      if (top.time > t_end) break;
+      heap_.pop();
+      const auto it = callbacks_.find(top.id);
+      if (it == callbacks_.end()) continue;  // cancelled
+      now_ = top.time;
+      Callback cb = std::move(it->second);
+      callbacks_.erase(it);
+      ++processed_;
+      cb();
+    }
+    if (!stopped_ && now_ < t_end) now_ = t_end;
+  }
+
+  void run() { run_until(std::numeric_limits<TimeNs>::max()); }
+
+  void stop() { stopped_ = true; }
+
+  TimeNs now() const { return now_; }
+  std::size_t pending_events() const { return callbacks_.size(); }
+  std::uint64_t processed_events() const { return processed_; }
+
+ private:
+  struct HeapEntry {
+    TimeNs time;
+    LegacyEventId id;
+    bool operator>(const HeapEntry& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;  // FIFO among same-time events
+    }
+  };
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      heap_;
+  std::unordered_map<LegacyEventId, Callback> callbacks_;
+  TimeNs now_ = 0;
+  LegacyEventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+class LegacyTimer {
+ public:
+  explicit LegacyTimer(LegacyEventLoop* loop) : loop_(loop) {}
+
+  void arm(TimeNs at, LegacyEventLoop::Callback cb) {
+    cancel();
+    armed_ = true;
+    deadline_ = at;
+    pending_ = loop_->schedule(at, [this, cb = std::move(cb)]() {
+      armed_ = false;
+      cb();
+    });
+  }
+  void arm_in(TimeNs delay, LegacyEventLoop::Callback cb) {
+    arm(loop_->now() + delay, std::move(cb));
+  }
+  void cancel() {
+    if (armed_) {
+      loop_->cancel(pending_);
+      armed_ = false;
+    }
+  }
+  bool armed() const { return armed_; }
+  TimeNs deadline() const { return deadline_; }
+
+ private:
+  LegacyEventLoop* loop_;
+  LegacyEventId pending_ = 0;
+  bool armed_ = false;
+  TimeNs deadline_ = 0;
+};
+
+}  // namespace nimbus::bench

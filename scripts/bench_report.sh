@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Perf measurement layer (ISSUE 2): runs the event-loop and end-to-end
+# microbenchmarks and emits a BENCH_*.json snapshot so every later PR can
+# be compared against this one.
+#
+# Usage: scripts/bench_report.sh [--quick] [output.json]
+#
+#   --quick    shorter benchmark repetitions (CI smoke; timings noisier)
+#   output     defaults to BENCH_PR2.json in the repo root
+#
+# The "before" numbers come from the same binary: bench_micro runs every
+# event-loop workload against both the current core and a verbatim copy of
+# the seed implementation (bench/legacy_event_loop.h), so the speedup is
+# measured on the same host, compiler, and flags.  The end-to-end section
+# also records the seed-commit wall times measured when this PR was made
+# (host-specific; see README "Performance").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+OUT=BENCH_PR2.json
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    -*) echo "usage: $0 [--quick] [output.json]" >&2; exit 2 ;;
+    *) OUT="$arg" ;;
+  esac
+done
+
+BUILD="${BUILD_DIR:-build}"
+MICRO="$BUILD/bench/bench_micro"
+FIG08="$BUILD/bench/bench_fig08"
+if [ ! -x "$MICRO" ]; then
+  echo "error: $MICRO not built (configure with google-benchmark installed)" >&2
+  exit 1
+fi
+
+MIN_TIME=0.5
+if [ "$QUICK" = 1 ]; then MIN_TIME=0.05; fi
+
+MICRO_JSON=$(mktemp)
+trap 'rm -f "$MICRO_JSON"' EXIT
+
+echo "== bench_micro (min_time=${MIN_TIME}s) =="
+"$MICRO" \
+  --benchmark_filter='EventLoop|Timer|SimulatedSecond' \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json > "$MICRO_JSON"
+
+echo "== bench_fig08 quick mode (wall clock) =="
+FIG08_START=$(date +%s.%N)
+"$FIG08" > /dev/null
+FIG08_END=$(date +%s.%N)
+FIG08_SECS=$(echo "$FIG08_END $FIG08_START" | awk '{printf "%.2f", $1 - $2}')
+echo "bench_fig08 quick: ${FIG08_SECS}s"
+
+OUT="$OUT" MICRO_JSON="$MICRO_JSON" FIG08_SECS="$FIG08_SECS" QUICK="$QUICK" \
+python3 - <<'EOF'
+import json
+import os
+
+micro = json.load(open(os.environ["MICRO_JSON"]))
+by_name = {b["name"]: b for b in micro["benchmarks"]}
+
+def items_per_sec(name):
+    b = by_name.get(name)
+    return b["items_per_second"] if b else None
+
+def pair(current, legacy):
+    after = items_per_sec(current)
+    before = items_per_sec(legacy)
+    out = {"before_events_per_sec": before, "after_events_per_sec": after}
+    if before and after:
+        out["speedup"] = round(after / before, 2)
+    return out
+
+cubic = by_name.get("BM_SimulatedSecondCubic")
+scenario = by_name.get("BM_SimulatedSecondScenario")
+
+report = {
+    "pr": 2,
+    "generated_by": "scripts/bench_report.sh"
+                    + (" --quick" if os.environ["QUICK"] == "1" else ""),
+    "host": micro.get("context", {}),
+    "event_loop_microbench": {
+        # Workload shapes (see bench/bench_micro.cc); "before" is the seed
+        # event core compiled into the same binary from
+        # bench/legacy_event_loop.h.
+        "steady_state": pair("BM_EventLoopSteadyState",
+                             "BM_EventLoopSteadyStateLegacy"),
+        "schedule_fire_burst": pair("BM_EventLoopScheduleFire",
+                                    "BM_EventLoopScheduleFireLegacy"),
+        "churn": pair("BM_EventLoopChurn", "BM_EventLoopChurnLegacy"),
+        "timer_rearm": pair("BM_TimerRearm", "BM_TimerRearmLegacy"),
+    },
+    "end_to_end": {
+        "simulated_second_cubic_sim_sec_per_wall_sec":
+            cubic["items_per_second"] if cubic else None,
+        "scenario_sim_sec_per_wall_sec":
+            scenario["items_per_second"] if scenario else None,
+        "scenario_events_per_sim_sec":
+            scenario.get("events_per_sim_sec") if scenario else None,
+        "bench_fig08_quick_wall_seconds": float(os.environ["FIG08_SECS"]),
+        # Seed commit (80dcab9) measured on the PR-2 dev container for
+        # reference; host-specific, unlike the in-binary legacy numbers.
+        "seed_baseline_dev_host": {
+            "bench_fig08_quick_wall_seconds": 7.21,
+            "simulated_second_cubic_sim_sec_per_wall_sec": 11.9,
+        },
+    },
+}
+
+out = os.environ["OUT"]
+with open(out, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+
+ss = report["event_loop_microbench"]["steady_state"]
+print(f"wrote {out}")
+print(f"steady-state events/sec: {ss['before_events_per_sec']:.3g} -> "
+      f"{ss['after_events_per_sec']:.3g} ({ss.get('speedup', '?')}x)")
+EOF

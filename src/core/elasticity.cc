@@ -9,17 +9,36 @@
 
 namespace nimbus::core {
 
-SlidingSignal::SlidingSignal(std::size_t capacity) : capacity_(capacity) {
+SlidingSignal::SlidingSignal(std::size_t capacity)
+    : capacity_(capacity), buf_(capacity) {
   NIMBUS_CHECK(capacity_ > 0);
 }
 
 void SlidingSignal::add(double v) {
-  buf_.push_back(v);
-  if (buf_.size() > capacity_) buf_.pop_front();
+  if (size_ == capacity_) {
+    buf_[head_] = v;
+    head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+  } else {
+    std::size_t pos = head_ + size_;
+    if (pos >= capacity_) pos -= capacity_;
+    buf_[pos] = v;
+    ++size_;
+  }
+}
+
+void SlidingSignal::copy_to(std::vector<double>& out) const {
+  out.resize(size_);
+  const std::size_t tail_len = std::min(size_, capacity_ - head_);
+  std::copy_n(buf_.begin() + static_cast<std::ptrdiff_t>(head_), tail_len,
+              out.begin());
+  std::copy_n(buf_.begin(), size_ - tail_len,
+              out.begin() + static_cast<std::ptrdiff_t>(tail_len));
 }
 
 std::vector<double> SlidingSignal::snapshot() const {
-  return {buf_.begin(), buf_.end()};
+  std::vector<double> out;
+  copy_to(out);
+  return out;
 }
 
 ElasticityDetector::ElasticityDetector() : ElasticityDetector(Config()) {}
@@ -33,11 +52,11 @@ ElasticityDetector::ElasticityDetector(const Config& config)
 
 void ElasticityDetector::add_sample(double value) { signal_.add(value); }
 
-std::vector<double> ElasticityDetector::windowed_snapshot() const {
-  std::vector<double> x = signal_.snapshot();
-  spectral::remove_mean(x);
-  spectral::apply_window(x, cfg_.window);
-  return x;
+const std::vector<double>& ElasticityDetector::windowed_snapshot() const {
+  signal_.copy_to(scratch_);
+  spectral::remove_mean(scratch_);
+  spectral::apply_window(scratch_, cfg_.window);
+  return scratch_;
 }
 
 ElasticityDetector::Result ElasticityDetector::evaluate(
@@ -46,7 +65,7 @@ ElasticityDetector::Result ElasticityDetector::evaluate(
   if (!ready()) return r;
   r.valid = true;
 
-  const std::vector<double> x = windowed_snapshot();
+  const std::vector<double>& x = windowed_snapshot();
   const std::size_t n = x.size();
   const double fs = cfg_.sample_rate_hz;
   auto bin_freq = [&](std::size_t k) {
@@ -82,7 +101,7 @@ ElasticityDetector::Result ElasticityDetector::evaluate(
 
 double ElasticityDetector::magnitude_near(double f_hz) const {
   if (!ready()) return 0.0;
-  const std::vector<double> x = windowed_snapshot();
+  const std::vector<double>& x = windowed_snapshot();
   const std::size_t n = x.size();
   const std::size_t center =
       spectral::frequency_bin(f_hz, n, cfg_.sample_rate_hz);

@@ -19,7 +19,6 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
 #include <vector>
 
 #include "spectral/spectrum.h"
@@ -27,23 +26,35 @@
 
 namespace nimbus::core {
 
-/// Fixed-capacity sliding window of uniformly sampled values.
+/// Fixed-capacity sliding window of uniformly sampled values, stored as a
+/// flat ring buffer (one allocation at construction; the detector pushes a
+/// sample every pulse period, so the window must not churn the allocator
+/// the way the seed's std::deque did).
 class SlidingSignal {
  public:
   explicit SlidingSignal(std::size_t capacity);
 
   void add(double v);
-  bool full() const { return buf_.size() == capacity_; }
-  std::size_t size() const { return buf_.size(); }
+  bool full() const { return size_ == capacity_; }
+  std::size_t size() const { return size_; }
   std::size_t capacity() const { return capacity_; }
-  void clear() { buf_.clear(); }
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
 
   /// Oldest-to-newest copy of the window.
   std::vector<double> snapshot() const;
 
+  /// Writes the window oldest-to-newest into `out` (resized to size()),
+  /// reusing its capacity — the allocation-free path evaluate() uses.
+  void copy_to(std::vector<double>& out) const;
+
  private:
   std::size_t capacity_;
-  std::deque<double> buf_;
+  std::vector<double> buf_;   // ring storage, sized capacity_
+  std::size_t head_ = 0;      // index of the oldest sample
+  std::size_t size_ = 0;
 };
 
 class ElasticityDetector {
@@ -88,10 +99,14 @@ class ElasticityDetector {
   const Config& config() const { return cfg_; }
 
  private:
-  std::vector<double> windowed_snapshot() const;
+  /// Fills scratch_ with the mean-removed, windowed signal and returns it.
+  const std::vector<double>& windowed_snapshot() const;
 
   Config cfg_;
   SlidingSignal signal_;
+  // Reused by every evaluate()/magnitude_near() call (the detector runs
+  // each pulse period; the seed version allocated a fresh vector per call).
+  mutable std::vector<double> scratch_;
 };
 
 }  // namespace nimbus::core

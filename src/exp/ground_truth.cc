@@ -61,15 +61,27 @@ void attach_nimbus_logger(core::Nimbus* nimbus, ModeLog* mode_log,
       });
 }
 
+namespace {
+
+// Self-rescheduling poller: a 32-byte copyable struct the event loop stores
+// inline (the seed version round-tripped a shared std::function per tick).
+struct CopaPoll {
+  sim::Network* net;
+  const cc::Copa* copa;
+  ModeLog* mode_log;
+  TimeNs interval;
+  void operator()() const {
+    mode_log->add(net->loop().now(), copa->in_competitive_mode());
+    net->loop().schedule_in(interval, *this);
+  }
+};
+
+}  // namespace
+
 void attach_copa_poller(sim::Network* net, const cc::Copa* copa,
                         ModeLog* mode_log, TimeNs interval) {
   NIMBUS_CHECK(net != nullptr && copa != nullptr && mode_log != nullptr);
-  auto poll = std::make_shared<std::function<void()>>();
-  *poll = [net, copa, mode_log, interval, poll]() {
-    mode_log->add(net->loop().now(), copa->in_competitive_mode());
-    net->loop().schedule_in(interval, *poll);
-  };
-  net->loop().schedule_in(interval, *poll);
+  net->loop().schedule_in(interval, CopaPoll{net, copa, mode_log, interval});
 }
 
 }  // namespace nimbus::exp

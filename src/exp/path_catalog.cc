@@ -1,10 +1,5 @@
 #include "exp/path_catalog.h"
 
-#include <memory>
-
-#include "exp/schemes.h"
-#include "sim/network.h"
-#include "traffic/raw_sources.h"
 #include "util/check.h"
 
 namespace nimbus::exp {
@@ -72,52 +67,54 @@ std::vector<PathConfig> internet_paths() {
   return paths;
 }
 
-FlowSummary run_path(const std::string& scheme, const PathConfig& path,
-                     TimeNs duration, std::uint64_t seed) {
-  sim::Network net(path.rate_bps,
-                   sim::buffer_bytes_for_bdp(path.rate_bps, path.rtt,
-                                             path.buffer_bdp));
+ScenarioSpec path_scenario(const std::string& scheme, const PathConfig& path,
+                           TimeNs duration, std::uint64_t seed) {
+  NIMBUS_CHECK_MSG(seed != 0, "path runs need an explicit nonzero seed");
+  ScenarioSpec spec;
+  spec.name = "path/" + path.name + "/" + scheme;
+  spec.mu_bps = path.rate_bps;
+  spec.rtt = path.rtt;
+  spec.buffer_bdp = path.buffer_bdp;
+  spec.duration = duration;
   if (path.random_loss > 0) {
-    net.link().set_random_loss(path.random_loss, seed * 13 + 7);
+    spec.random_loss = path.random_loss;
+    spec.random_loss_seed = seed * 13 + 7;  // historical formula
   }
   if (path.policer) {
-    sim::PolicerConfig pc;
-    pc.enabled = true;
-    pc.rate_bps = path.policer_frac * path.rate_bps;
-    pc.burst_bytes = static_cast<std::int64_t>(
+    spec.policer.enabled = true;
+    spec.policer.rate_bps = path.policer_frac * path.rate_bps;
+    spec.policer.burst_bytes = static_cast<std::int64_t>(
         path.policer_frac * path.rate_bps / 8.0 * to_sec(path.rtt));
-    net.link().set_policer(pc);
   }
 
   // Protagonist bulk transfer.  Real-path runs estimate mu online (the
   // paper's testbed does not know the bottleneck rate a priori).
-  sim::TransportFlow::Config fc;
-  fc.id = net.next_flow_id();
-  fc.rtt_prop = path.rtt;
-  fc.seed = seed;
-  net.recorder().track_flow(fc.id);
-  net.add_flow(fc, make_scheme(scheme, /*known_mu_bps=*/0.0));
+  spec.protagonist.scheme = scheme;
+  spec.protagonist.known_mu = false;
+  spec.protagonist.seed = seed;
 
-  // Cross traffic.
+  // Cross traffic; ids auto-allocate in order (Poisson first, matching the
+  // hand-assembled version: protagonist 1, Poisson 2, elastic 3, 4, ...).
   if (path.inelastic_load > 0) {
-    traffic::PoissonSource::Config pc;
-    pc.id = net.next_flow_id();
-    pc.mean_rate_bps = path.inelastic_load * path.rate_bps;
-    pc.seed = seed * 31 + 3;
-    net.add_source(std::make_unique<traffic::PoissonSource>(
-        &net.loop(), &net.link(), pc));
+    CrossSpec c = CrossSpec::poisson(path.inelastic_load * path.rate_bps, 0);
+    c.seed = seed * 31 + 3;
+    spec.cross.push_back(c);
   }
   for (int i = 0; i < path.elastic_flows; ++i) {
-    sim::TransportFlow::Config cc_cfg;
-    cc_cfg.id = net.next_flow_id();
-    cc_cfg.rtt_prop = path.rtt + from_ms(5 * i);
-    cc_cfg.seed = seed * 17 + static_cast<std::uint64_t>(i);
-    net.add_flow(cc_cfg, make_scheme("cubic"));
+    CrossSpec c = CrossSpec::flow("cubic", 0);
+    c.rtt = path.rtt + from_ms(5 * i);
+    c.seed = seed * 17 + static_cast<std::uint64_t>(i);
+    spec.cross.push_back(c);
   }
+  return spec;
+}
 
-  net.run_until(duration);
+FlowSummary run_path(const std::string& scheme, const PathConfig& path,
+                     TimeNs duration, std::uint64_t seed) {
+  const ScenarioSpec spec = path_scenario(scheme, path, duration, seed);
+  const ScenarioRun run = run_scenario(spec);
   // Skip the first 10 s of warmup in the summary.
-  return summarize_flow(net.recorder(), 1, from_sec(10), duration);
+  return summarize_flow(run.built.net->recorder(), 1, from_sec(10), duration);
 }
 
 }  // namespace nimbus::exp

@@ -173,7 +173,9 @@ std::unique_ptr<sim::Network> make_bottleneck(const ScenarioSpec& spec) {
   }
   if (spec.random_loss > 0) {
     net->link().set_random_loss(spec.random_loss,
-                                flow_seed(spec.seed, /*legacy=*/7));
+                                spec.random_loss_seed != 0
+                                    ? spec.random_loss_seed
+                                    : flow_seed(spec.seed, /*legacy=*/7));
   }
   if (spec.policer.enabled) net->link().set_policer(spec.policer);
   return net;

@@ -158,6 +158,10 @@ struct ScenarioSpec {
   QueueKind queue = QueueKind::kDropTail;
   TimeNs pie_target_delay = from_ms(15);
   double random_loss = 0.0;
+  /// RNG stream for random_loss; 0 = derive from the scenario seed
+  /// (legacy stream 7 under the default base).  Explicit values let path
+  /// experiments keep their historical seed*13+7 formula.
+  std::uint64_t random_loss_seed = 0;
   sim::PolicerConfig policer;
 
   ProtagonistSpec protagonist;

@@ -1,34 +1,256 @@
 #include "sim/event_loop.h"
 
+#include <algorithm>
 #include <limits>
-
-#include "util/check.h"
 
 namespace nimbus::sim {
 
-EventId EventLoop::schedule(TimeNs t, Callback cb) {
+EventLoop::EventLoop() { bucket_head_.fill(kNilNode); }
+
+std::uint32_t EventLoop::acquire_slot(TimeNs t) {
   NIMBUS_CHECK_MSG(t >= now_, "cannot schedule events in the past");
-  const EventId id = next_id_++;
-  heap_.push({t, id});
-  callbacks_.emplace(id, std::move(cb));
-  return id;
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t s = free_head_;
+    free_head_ = slot_ref(s).next_free;
+    return s;
+  }
+  NIMBUS_CHECK_MSG(total_slots_ <= kSlotMask, "event slot pool exhausted");
+  if (total_slots_ == chunks_.size() * kChunkSize) {
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+  }
+  return total_slots_++;
 }
 
-void EventLoop::cancel(EventId id) { callbacks_.erase(id); }
+void EventLoop::release_slot(std::uint32_t s) {
+  Slot& slot = slot_ref(s);
+  slot.pending_id = 0;
+  slot.cb.reset();  // free for inline callables (no destructor work)
+  slot.next_free = free_head_;
+  free_head_ = s;
+}
+
+void EventLoop::wheel_insert(TimeNs t, std::uint64_t id,
+                             std::uint64_t abs_bucket) {
+  std::uint32_t n;
+  if (node_free_ != kNilNode) {
+    n = node_free_;
+    node_free_ = pool_[n].next;
+  } else {
+    n = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  const std::uint64_t b = abs_bucket & kWheelMask;
+  pool_[n] = {static_cast<std::uint64_t>(t), id, bucket_head_[b]};
+  bucket_head_[b] = n;
+  occ_[b >> 6] |= std::uint64_t{1} << (b & 63);
+  ++wheel_count_;
+}
+
+void EventLoop::enqueue_entry(TimeNs t, std::uint64_t id) {
+  // Clamp to the cursor: after a run_until() boundary the cursor can sit
+  // ahead of now(), and an entry bucketed below it could alias a bucket a
+  // full wheel turn away.  Clamping is order-preserving — every bucket
+  // below the cursor is empty, and buckets drain by smallest (time, seq)
+  // key, so an early entry placed in the cursor bucket still fires first.
+  const std::uint64_t ab = std::max(
+      static_cast<std::uint64_t>(t) >> kBucketShift, cursor_);
+  if (ab >= cursor_ + kWheelSize) {
+    heap_push({pack_key(t, id)});
+  } else {
+    wheel_insert(t, id, ab);
+  }
+}
+
+std::uint64_t EventLoop::next_nonempty_bucket() const {
+  const std::uint64_t start = cursor_ & kWheelMask;
+  std::uint64_t w = start >> 6;
+  std::uint64_t word = occ_[w] & (~std::uint64_t{0} << (start & 63));
+  while (word == 0) {
+    w = (w + 1) & (kOccWords - 1);
+    word = occ_[w];
+  }
+  const auto pos =
+      (w << 6) | static_cast<std::uint64_t>(__builtin_ctzll(word));
+  // Convert the circular position back to an absolute bucket index.
+  const std::uint64_t base = cursor_ - start;
+  return pos >= start ? base + pos : base + pos + kWheelSize;
+}
+
+// Eagerly unlinks the pending entry for `slot` if it lives in the wheel
+// (far-heap entries are left behind as lazy tombstones — pull and pop drop
+// them).  Keeping buckets tombstone-free bounds the drain scan by the real
+// per-bucket concurrency: without this, a flow's per-ACK RTO rearms pile
+// thousands of dead entries into one deadline bucket and the drain's
+// min-scan degenerates quadratically.
+void EventLoop::wheel_unlink_if_near(const Slot& slot, std::uint64_t id) {
+  const std::uint64_t ab =
+      std::max(slot.time >> kBucketShift, cursor_);
+  if (ab >= cursor_ + kWheelSize) return;  // in the far heap
+  const std::uint64_t b = ab & kWheelMask;
+  std::uint32_t prev = kNilNode;
+  for (std::uint32_t cur = bucket_head_[b]; cur != kNilNode;
+       prev = cur, cur = pool_[cur].next) {
+    if (pool_[cur].id != id) continue;
+    if (prev == kNilNode) {
+      bucket_head_[b] = pool_[cur].next;
+    } else {
+      pool_[prev].next = pool_[cur].next;
+    }
+    pool_[cur].next = node_free_;
+    node_free_ = cur;
+    --wheel_count_;
+    if (bucket_head_[b] == kNilNode) {
+      occ_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+    }
+    return;
+  }
+  NIMBUS_CHECK_MSG(false, "pending near event missing from its bucket");
+}
+
+void EventLoop::pull_far_into_window() {
+  while (!heap_.empty()) {
+    const TimeNs t = time_of(heap_[0].key);
+    const std::uint64_t ab = static_cast<std::uint64_t>(t) >> kBucketShift;
+    if (ab >= cursor_ + kWheelSize) break;
+    const auto id = static_cast<std::uint64_t>(heap_[0].key);
+    heap_pop_min();
+    // Drop far tombstones here instead of carrying them into a bucket.
+    if (slot_ref(static_cast<std::uint32_t>(id & kSlotMask)).pending_id ==
+        id) {
+      wheel_insert(t, id, ab);
+    }
+  }
+}
+
+void EventLoop::heap_push(Entry e) {
+  // Hole-based sift-up: shift parents down and place the new entry once.
+  heap_.push_back(e);
+  std::size_t hole = heap_.size() - 1;
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) / 4;
+    if (heap_[parent].key <= e.key) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = e;
+}
+
+void EventLoop::heap_pop_min() {
+  // Hole-based sift-down of the last entry from the root.
+  const std::size_t n = heap_.size() - 1;
+  const Entry last = heap_[n];
+  heap_.pop_back();
+  if (n == 0) return;
+  std::size_t hole = 0;
+  for (;;) {
+    const std::size_t first = 4 * hole + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (heap_[c].key < heap_[best].key) best = c;
+    }
+    if (last.key <= heap_[best].key) break;
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  heap_[hole] = last;
+}
+
+void EventLoop::cancel(EventId id) {
+  const auto s = static_cast<std::uint32_t>(id & kSlotMask);
+  if (id == 0 || s >= total_slots_) return;
+  Slot& slot = slot_ref(s);
+  if (slot.pending_id != id) return;  // fired, cancelled, or stale
+  wheel_unlink_if_near(slot, id);
+  release_slot(s);
+  --live_;
+}
+
+EventId EventLoop::reschedule(EventId id, TimeNs t) {
+  const auto s = static_cast<std::uint32_t>(id & kSlotMask);
+  NIMBUS_CHECK_MSG(t >= now_, "cannot schedule events in the past");
+  NIMBUS_CHECK_MSG(id != 0 && s < total_slots_ &&
+                       slot_ref(s).pending_id == id,
+                   "reschedule of a fired or cancelled event");
+  Slot& slot = slot_ref(s);
+  wheel_unlink_if_near(slot, id);  // far entries become lazy tombstones
+  const EventId nid = make_event_id(s);
+  slot.pending_id = nid;
+  slot.time = static_cast<std::uint64_t>(t);
+  enqueue_entry(t, nid);
+  return nid;
+}
 
 void EventLoop::run_until(TimeNs t_end) {
   stopped_ = false;
-  while (!stopped_ && !heap_.empty()) {
-    const HeapEntry top = heap_.top();
-    if (top.time > t_end) break;
-    heap_.pop();
-    const auto it = callbacks_.find(top.id);
-    if (it == callbacks_.end()) continue;  // cancelled
-    now_ = top.time;
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
-    ++processed_;
-    cb();
+  while (!stopped_) {
+    // Move the window to the next non-empty bucket (or jump it to the far
+    // heap's earliest entry), then migrate far events that the slide
+    // exposed.
+    if (wheel_count_ > 0) {
+      cursor_ = next_nonempty_bucket();
+    } else if (!heap_.empty()) {
+      cursor_ =
+          static_cast<std::uint64_t>(time_of(heap_[0].key)) >> kBucketShift;
+    } else {
+      break;  // queue empty
+    }
+    pull_far_into_window();
+
+    // Drain bucket `cursor_` in (time, seq) order by repeatedly unlinking
+    // the smallest-key node.  Callbacks may append to this same bucket
+    // (they cannot make anything earlier pending), so re-scan until it is
+    // empty or the next event is past t_end.
+    const std::uint64_t b = cursor_ & kWheelMask;
+    bool reached_end = false;
+    while (!stopped_) {
+      const std::uint32_t head = bucket_head_[b];
+      if (head == kNilNode) break;
+      std::uint32_t best = head;
+      std::uint32_t best_prev = kNilNode;
+      unsigned __int128 best_key = node_key(pool_[head]);
+      for (std::uint32_t prev = head, cur = pool_[head].next;
+           cur != kNilNode; prev = cur, cur = pool_[cur].next) {
+        const unsigned __int128 k = node_key(pool_[cur]);
+        if (k < best_key) {
+          best_key = k;
+          best = cur;
+          best_prev = prev;
+        }
+      }
+      const auto t = static_cast<TimeNs>(pool_[best].time);
+      if (t > t_end) {
+        reached_end = true;
+        break;
+      }
+      const std::uint64_t id = pool_[best].id;
+      if (best_prev == kNilNode) {
+        bucket_head_[b] = pool_[best].next;
+      } else {
+        pool_[best_prev].next = pool_[best].next;
+      }
+      pool_[best].next = node_free_;
+      node_free_ = best;
+      --wheel_count_;
+      Slot& slot = slot_ref(static_cast<std::uint32_t>(id & kSlotMask));
+      if (slot.pending_id != id) continue;  // cancelled / rescheduled
+      now_ = t;
+      slot.pending_id = 0;  // a self-cancel inside the callback is a no-op
+      --live_;
+      ++processed_;
+      // In-place invocation: chunked slots have stable addresses, so the
+      // callback may grow the pools or the queue freely while running.
+      // The slot is not on the free list yet, so nothing can re-occupy it.
+      slot.cb();
+      slot.cb.reset();
+      slot.next_free = free_head_;
+      free_head_ = static_cast<std::uint32_t>(id & kSlotMask);
+    }
+    if (bucket_head_[b] == kNilNode) {
+      occ_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+    }
+    if (reached_end) break;
   }
   if (!stopped_ && now_ < t_end) now_ = t_end;
 }
@@ -36,20 +258,30 @@ void EventLoop::run_until(TimeNs t_end) {
 void EventLoop::run() { run_until(std::numeric_limits<TimeNs>::max()); }
 
 void Timer::arm(TimeNs at, EventLoop::Callback cb) {
-  cancel();
-  armed_ = true;
+  cb_ = std::move(cb);
   deadline_ = at;
-  pending_ = loop_->schedule(at, [this, cb = std::move(cb)]() {
-    armed_ = false;
-    cb();
-  });
+  if (armed_) {
+    // Fast path: keep the slot and trampoline, move only the queue entry.
+    pending_ = loop_->reschedule(pending_, at);
+    return;
+  }
+  armed_ = true;
+  pending_ = loop_->schedule(at, Fire{this});
 }
 
 void Timer::cancel() {
   if (armed_) {
     loop_->cancel(pending_);
     armed_ = false;
+    cb_.reset();
   }
+}
+
+void Timer::fire() {
+  armed_ = false;
+  // Move out before invoking: the callback may re-arm this timer.
+  EventLoop::Callback cb = std::move(cb_);
+  cb();
 }
 
 }  // namespace nimbus::sim

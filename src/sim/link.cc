@@ -69,12 +69,16 @@ void BottleneckLink::start_transmission() {
   busy_ = true;
   const TimeNs t = tx_time(next->size_bytes, rate_bps_);
   busy_time_ += t;
-  loop_->schedule_in(t, [this, p = *next]() {
-    delivered_bytes_ += p.size_bytes;
-    ++delivered_packets_;
-    if (on_delivery_) on_delivery_(p, loop_->now());
-    start_transmission();
-  });
+  in_flight_ = *next;
+  loop_->schedule_in(t, TxDone{this});
+}
+
+void BottleneckLink::finish_transmission() {
+  const Packet p = in_flight_;
+  delivered_bytes_ += p.size_bytes;
+  ++delivered_packets_;
+  if (on_delivery_) on_delivery_(p, loop_->now());
+  start_transmission();
 }
 
 void BottleneckLink::set_rate_bps(double rate_bps) {

@@ -64,7 +64,16 @@ class BottleneckLink {
   double utilization() const;
 
  private:
+  // Serialization-complete event: an 8-byte trampoline that fits the event
+  // loop's inline callback buffer; the in-flight packet is kept in a member
+  // (the link serializes one packet at a time) instead of being captured.
+  struct TxDone {
+    BottleneckLink* link;
+    void operator()() const { link->finish_transmission(); }
+  };
+
   void start_transmission();
+  void finish_transmission();
   void drop(const Packet& p);
   bool policer_admits(const Packet& p);
 
@@ -76,6 +85,7 @@ class BottleneckLink {
 
   bool busy_ = false;
   TimeNs busy_time_ = 0;
+  Packet in_flight_;
 
   double loss_prob_ = 0.0;
   util::Rng loss_rng_;

@@ -1,5 +1,7 @@
 #include "sim/network.h"
 
+#include <limits>
+
 #include "util/check.h"
 
 namespace nimbus::sim {
@@ -59,6 +61,9 @@ void Network::run_until(TimeNs t_end) {
   if (!recorder_attached_) {
     recorder_.attach(&loop_, link_.get());
     recorder_attached_ = true;
+  }
+  if (t_end != std::numeric_limits<TimeNs>::max()) {
+    recorder_.expect_duration(t_end);
   }
   loop_.run_until(t_end);
 }

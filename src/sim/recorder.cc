@@ -14,13 +14,23 @@ const util::TimeSeries kEmptySeries;
 void Recorder::attach(EventLoop* loop, BottleneckLink* link,
                       TimeNs probe_interval) {
   NIMBUS_CHECK(loop != nullptr && link != nullptr);
-  // Self-rescheduling probe; captures this/loop/link by value.
-  auto probe = std::make_shared<std::function<void()>>();
-  *probe = [this, loop, link, probe_interval, probe]() {
-    probe_qdelay_.add(loop->now(), to_ms(link->current_queue_delay()));
-    loop->schedule_in(probe_interval, *probe);
-  };
-  loop->schedule_in(probe_interval, *probe);
+  loop_ = loop;
+  link_ = link;
+  probe_interval_ = probe_interval;
+  // Self-rescheduling probe: an 8-byte capture the event loop stores
+  // inline (the seed version copied a shared std::function every tick).
+  loop_->schedule_in(probe_interval_, [this]() { probe_tick(); });
+}
+
+void Recorder::probe_tick() {
+  probe_qdelay_.add(loop_->now(), to_ms(link_->current_queue_delay()));
+  loop_->schedule_in(probe_interval_, [this]() { probe_tick(); });
+}
+
+void Recorder::expect_duration(TimeNs duration) {
+  if (probe_interval_ <= 0) return;
+  probe_qdelay_.reserve(
+      static_cast<std::size_t>(duration / probe_interval_) + 1);
 }
 
 void Recorder::on_delivery(const Packet& p, TimeNs dequeue_done) {

@@ -24,6 +24,11 @@ class Recorder {
   void attach(EventLoop* loop, BottleneckLink* link,
               TimeNs probe_interval = from_ms(10));
 
+  /// Pre-sizes the probe series for a run of the given length (called by
+  /// Network::run_until with the scenario duration so steady-state probing
+  /// never reallocates).
+  void expect_duration(TimeNs duration);
+
   /// Tracked flows get per-packet queueing-delay series (others only get
   /// byte counters, which are cheap).
   void track_flow(FlowId id) { tracked_.insert(id); }
@@ -61,6 +66,12 @@ class Recorder {
   bool has_flow(FlowId id) const { return delivered_.count(id) > 0; }
 
  private:
+  void probe_tick();
+
+  EventLoop* loop_ = nullptr;
+  BottleneckLink* link_ = nullptr;
+  TimeNs probe_interval_ = 0;
+
   std::set<FlowId> tracked_;
   std::map<FlowId, util::ByteCounter> delivered_;
   std::map<FlowId, util::TimeSeries> queue_delay_;

@@ -25,6 +25,8 @@ TransportFlow::TransportFlow(EventLoop* loop, BottleneckLink* link,
       pacing_timer_(loop),
       report_timer_(loop),
       stop_timer_(loop) {
+  static_assert(sizeof(AckArrival) <= EventCallback::kInlineBytes,
+                "ACK delivery must fit the inline callback buffer");
   NIMBUS_CHECK(cc_ != nullptr);
   NIMBUS_CHECK(cfg_.mss > 0);
   backlogged_ = cfg_.app_bytes < 0;
@@ -158,7 +160,7 @@ void TransportFlow::on_link_delivery(const Packet& p, TimeNs /*dequeue_done*/) {
   ack.data_sent_at = p.sent_at;
   ack.bytes = p.size_bytes;
 
-  loop_->schedule_in(cfg_.rtt_prop, [this, ack]() { handle_ack(ack); });
+  loop_->schedule_in(cfg_.rtt_prop, AckArrival{this, ack});
 }
 
 void TransportFlow::handle_ack(const Ack& ack) {

@@ -53,21 +53,27 @@ std::vector<double> TimeSeries::bucket_means(TimeNs t0, TimeNs t1,
   NIMBUS_CHECK(dt > 0 && t1 > t0);
   const auto n = static_cast<std::size_t>((t1 - t0 + dt - 1) / dt);
   std::vector<double> out(n, 0.0);
+  // One binary search to the window start, then a single forward sweep:
+  // buckets are adjacent, so each sample is visited exactly once (the seed
+  // version re-searched the whole series twice per bucket).  Samples are
+  // summed in the same order as before, keeping results bit-identical.
+  std::size_t idx = static_cast<std::size_t>(
+      std::lower_bound(times_.begin(), times_.end(), t0) - times_.begin());
   double prev = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    const TimeNs lo = t0 + static_cast<TimeNs>(i) * dt;
-    const TimeNs hi = std::min(lo + dt, t1);
-    const auto a = std::lower_bound(times_.begin(), times_.end(), lo);
-    const auto b = std::lower_bound(times_.begin(), times_.end(), hi);
-    if (a == b) {
+    const TimeNs hi = std::min(t0 + static_cast<TimeNs>(i + 1) * dt, t1);
+    double sum = 0.0;
+    std::size_t count = 0;
+    while (idx < times_.size() && times_[idx] < hi) {
+      sum += values_[idx];
+      ++idx;
+      ++count;
+    }
+    if (count == 0) {
       out[i] = prev;
       continue;
     }
-    double sum = 0.0;
-    for (auto it = a; it != b; ++it) {
-      sum += values_[static_cast<std::size_t>(it - times_.begin())];
-    }
-    out[i] = sum / static_cast<double>(b - a);
+    out[i] = sum / static_cast<double>(count);
     prev = out[i];
   }
   return out;

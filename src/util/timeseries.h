@@ -15,6 +15,12 @@ namespace nimbus::util {
 class TimeSeries {
  public:
   void add(TimeNs t, double v);
+  /// Growth hint: recorders pre-size from the scenario duration and sample
+  /// cadence so steady-state recording never reallocates.
+  void reserve(std::size_t n) {
+    times_.reserve(n);
+    values_.reserve(n);
+  }
   std::size_t size() const { return times_.size(); }
   bool empty() const { return times_.empty(); }
 

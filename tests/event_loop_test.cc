@@ -1,0 +1,324 @@
+// Tests for the allocation-free event core: FIFO determinism, O(1)
+// cancellation via generation tags, the Timer rearm fast path, the
+// steady-state zero-allocation guarantee (via a counting operator-new
+// hook), and a golden-value regression pinning simulation output to the
+// seed implementation bit for bit.
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/scenario.h"
+#include "sim/event_loop.h"
+#include "util/rng.h"
+
+// --- counting operator-new hook (whole test binary) ---------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace nimbus {
+namespace {
+
+using sim::EventCallback;
+using sim::EventId;
+using sim::EventLoop;
+using sim::Timer;
+
+std::uint64_t alloc_count() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+// --- EventCallback ------------------------------------------------------
+
+TEST(EventCallbackTest, InlineForSmallCaptures) {
+  int x = 0;
+  EventCallback cb([&x]() { ++x; });
+  EXPECT_TRUE(cb.is_inline());
+  cb();
+  EXPECT_EQ(x, 1);
+}
+
+TEST(EventCallbackTest, HeapFallbackForLargeCaptures) {
+  struct Big {
+    double payload[16];
+  };
+  Big big{};
+  big.payload[0] = 42.0;
+  double got = 0;
+  EventCallback cb([big, &got]() { got = big.payload[0]; });
+  EXPECT_FALSE(cb.is_inline());
+  cb();
+  EXPECT_EQ(got, 42.0);
+}
+
+TEST(EventCallbackTest, MoveTransfersOwnership) {
+  int calls = 0;
+  EventCallback a([&calls]() { ++calls; });
+  EventCallback b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+}
+
+// --- ordering & cancellation -------------------------------------------
+
+TEST(EventCoreTest, SameTimeFiresInSchedulingOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    loop.schedule(from_ms(5), [&order, i]() { order.push_back(i); });
+  }
+  loop.run();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventCoreTest, CancelledSameTimeEventsAreSkipped) {
+  EventLoop loop;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(
+        loop.schedule(from_ms(5), [&order, i]() { order.push_back(i); }));
+  }
+  for (int i = 1; i < 10; i += 2) loop.cancel(ids[i]);
+  EXPECT_EQ(loop.pending_events(), 5u);
+  loop.run();
+  ASSERT_EQ(order.size(), 5u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<int>(2 * i));
+  }
+}
+
+TEST(EventCoreTest, StaleIdCannotCancelRecycledSlot) {
+  EventLoop loop;
+  bool a_ran = false, b_ran = false;
+  const EventId a = loop.schedule(from_ms(1), [&a_ran]() { a_ran = true; });
+  loop.cancel(a);
+  // b reuses a's slot (single-slot free list).
+  const EventId b = loop.schedule(from_ms(2), [&b_ran]() { b_ran = true; });
+  loop.cancel(a);  // stale generation: must not touch b
+  loop.cancel(a);  // double cancel: no-op
+  loop.run();
+  EXPECT_FALSE(a_ran);
+  EXPECT_TRUE(b_ran);
+  EXPECT_EQ(b & 0xfffffu, a & 0xfffffu);  // recycled the same slot
+  EXPECT_NE(b, a);                        // under a fresh id
+}
+
+TEST(EventCoreTest, CancelAfterFireIsNoop) {
+  EventLoop loop;
+  int fired = 0;
+  const EventId id = loop.schedule(from_ms(1), [&fired]() { ++fired; });
+  loop.run_until(from_ms(1));
+  EXPECT_EQ(fired, 1);
+  loop.cancel(id);  // must not disturb anything
+  int later = 0;
+  loop.schedule(from_ms(2), [&later]() { ++later; });
+  loop.run_until(from_ms(2));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(later, 1);
+}
+
+TEST(EventCoreTest, RescheduleTakesFreshFifoPosition) {
+  EventLoop loop;
+  std::vector<char> order;
+  const EventId x = loop.schedule(from_ms(1), [&order]() { order.push_back('x'); });
+  loop.schedule(from_ms(5), [&order]() { order.push_back('y'); });
+  loop.reschedule(x, from_ms(5));  // same time as y, but scheduled later
+  loop.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 'y');
+  EXPECT_EQ(order[1], 'x');
+}
+
+TEST(EventCoreTest, SlotPoolIsRecycled) {
+  EventLoop loop;
+  int count = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      loop.schedule_in(from_ms(1), [&count]() { ++count; });
+    }
+    loop.run_until(loop.now() + from_ms(2));
+  }
+  EXPECT_EQ(count, 500);
+  // All rounds after the first reuse the same 10 slots.
+  EXPECT_LE(loop.allocated_slots(), 10u);
+}
+
+// --- Timer --------------------------------------------------------------
+
+TEST(TimerTest, RearmWhileArmedMovesDeadline) {
+  EventLoop loop;
+  int fired = 0;
+  Timer t(&loop);
+  t.arm(from_ms(10), [&fired]() { fired += 1; });
+  t.arm(from_ms(30), [&fired]() { fired += 100; });  // fast path: rearm
+  EXPECT_TRUE(t.armed());
+  EXPECT_EQ(t.deadline(), from_ms(30));
+  loop.run_until(from_ms(20));
+  EXPECT_EQ(fired, 0);  // first arm was superseded
+  loop.run_until(from_ms(40));
+  EXPECT_EQ(fired, 100);
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(TimerTest, RearmFromInsideCallback) {
+  EventLoop loop;
+  int ticks = 0;
+  Timer t(&loop);
+  std::function<void()> tick = [&]() {
+    if (++ticks < 5) t.arm_in(from_ms(10), tick);
+  };
+  t.arm_in(from_ms(10), tick);
+  loop.run_until(from_sec(1));
+  EXPECT_EQ(ticks, 5);
+}
+
+TEST(TimerTest, CancelRearmStress) {
+  // Deterministic stress: per round, every timer gets a random sequence of
+  // arm/rearm/cancel ops with deadlines inside the round; exactly the
+  // timers whose last op was an arm fire, once each.
+  constexpr int kTimers = 16;
+  constexpr int kRounds = 200;
+  EventLoop loop;
+  util::Rng rng(1234);
+  std::vector<std::unique_ptr<Timer>> timers;
+  std::vector<int> fires(kTimers, 0);
+  for (int i = 0; i < kTimers; ++i) {
+    timers.push_back(std::make_unique<Timer>(&loop));
+  }
+  int expected_total = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    const TimeNs round_end = loop.now() + from_ms(100);
+    for (int i = 0; i < kTimers; ++i) {
+      const int ops = 1 + static_cast<int>(rng.uniform() * 3);
+      bool armed = false;
+      for (int op = 0; op < ops; ++op) {
+        if (rng.uniform() < 0.3) {
+          timers[static_cast<std::size_t>(i)]->cancel();
+          armed = false;
+        } else {
+          const TimeNs delay =
+              1 + static_cast<TimeNs>(rng.uniform() * to_sec(from_ms(90)) *
+                                      static_cast<double>(kNanosPerSec));
+          timers[static_cast<std::size_t>(i)]->arm_in(
+              delay, [&fires, i]() { ++fires[static_cast<std::size_t>(i)]; });
+          armed = true;
+        }
+      }
+      if (armed) ++expected_total;
+    }
+    loop.run_until(round_end);
+  }
+  int total = 0;
+  for (int f : fires) total += f;
+  EXPECT_EQ(total, expected_total);
+  EXPECT_EQ(loop.pending_events(), 0u);
+}
+
+// --- zero-allocation guarantee -----------------------------------------
+
+TEST(EventCoreTest, SteadyStateSchedulingDoesNotAllocate) {
+  EventLoop loop;
+  int count = 0;
+  const auto pattern = [&]() {
+    // Mixed steady-state load: plain schedule+fire, schedule+cancel, and
+    // an SBO-sized capture (pointer + 40 payload bytes).
+    struct Payload {
+      int* counter;
+      double pad[5];
+      void operator()() const { ++*counter; }
+    };
+    for (int i = 0; i < 256; ++i) {
+      loop.schedule_in(from_ms(1) + i, Payload{&count, {}});
+      const EventId id = loop.schedule_in(from_ms(2) + i, Payload{&count, {}});
+      loop.cancel(id);
+    }
+    loop.run_until(loop.now() + from_ms(10));
+  };
+  pattern();  // warm-up: grows heap/slot vectors to their high-water mark
+  const std::uint64_t before = alloc_count();
+  pattern();
+  EXPECT_EQ(alloc_count(), before) << "steady-state schedule/cancel must "
+                                      "perform no heap allocations";
+}
+
+TEST(EventCoreTest, TimerRearmDoesNotAllocate) {
+  EventLoop loop;
+  Timer t(&loop);
+  std::uint64_t fired = 0;
+  const auto pattern = [&]() {
+    for (int i = 0; i < 256; ++i) {
+      // Typical RTO usage: rearm while armed on every ACK.
+      t.arm_in(from_ms(200), [&fired]() { ++fired; });
+    }
+    loop.run_until(loop.now() + from_sec(1));
+  };
+  pattern();
+  const std::uint64_t before = alloc_count();
+  pattern();
+  EXPECT_EQ(alloc_count(), before) << "Timer::arm_in rearm must perform no "
+                                      "heap allocations";
+  EXPECT_EQ(fired, 2u);  // one fire per pattern invocation
+}
+
+// --- golden regression ---------------------------------------------------
+
+// Exact output of this scenario under the seed event core (captured from
+// commit 80dcab9's build; see ISSUE 2).  Any event reordering, RNG drift,
+// or floating-point change in the rewrite shows up here as a hard failure.
+TEST(EventCoreTest, GoldenScenarioBitIdenticalToSeed) {
+  exp::ScenarioSpec spec;
+  spec.name = "golden";
+  spec.mu_bps = 48e6;
+  spec.rtt = from_ms(50);
+  spec.buffer_bdp = 2.0;
+  spec.duration = from_sec(20);
+  spec.protagonist.use_nimbus_config = true;
+  spec.cross.push_back(exp::CrossSpec::poisson(8e6, 2));
+  spec.cross.push_back(exp::CrossSpec::flow("cubic", 3, from_sec(5)));
+
+  exp::ScenarioRun run = exp::run_scenario(spec);
+  auto& net = *run.built.net;
+  EXPECT_EQ(net.loop().processed_events(), 191116u);
+  EXPECT_EQ(net.recorder().delivered(1).total(), 40747500);
+  EXPECT_EQ(net.recorder().delivered(2).total(), 19888500);
+  EXPECT_EQ(net.recorder().delivered(3).total(), 58378500);
+  EXPECT_EQ(net.recorder().total_drops(), 1339u);
+  const auto& q = net.recorder().probed_queue_delay();
+  EXPECT_EQ(q.size(), 2000u);
+  EXPECT_EQ(q.mean_in(0, spec.duration), 55.012256128064031);
+  const auto buckets =
+      net.recorder().rtt_samples(1).bucket_means(0, spec.duration,
+                                                 from_sec(5));
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 62.040456583453654);
+  EXPECT_EQ(buckets[1], 111.60520900085015);
+  EXPECT_EQ(buckets[2], 106.46282495072045);
+  EXPECT_EQ(buckets[3], 123.08527478603838);
+  EXPECT_EQ(run.mode_log->series().size(), 2000u);
+}
+
+}  // namespace
+}  // namespace nimbus
