@@ -3,6 +3,8 @@
 // below Cubic/BBR.  CDFs of per-path mean rate and RTT per scheme.
 #include "common.h"
 
+#include <map>
+
 #include "exp/path_catalog.h"
 
 using namespace nimbus;

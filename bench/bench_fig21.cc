@@ -4,6 +4,8 @@
 // but sacrifices its own rate.
 #include "common.h"
 
+#include <map>
+
 using namespace nimbus;
 using namespace nimbus::bench;
 

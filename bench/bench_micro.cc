@@ -10,14 +10,26 @@
 // events-per-second from a single binary.  All report items/sec:
 //   *EventLoop* benches      -> events processed (or scheduled) per second
 //   *SimulatedSecond* benches -> simulated seconds per wall second
+// The PR 3 ACK-path benchmarks follow the same pattern: each workload runs
+// against the current seq-indexed ring structures and a verbatim copy of
+// the PR 2 node-based implementation (std::map outstanding tracking, deque
+// rate sampler, map/set recorder), so the speedup is same-host and
+// same-flags.  All report items/sec = ACK (or delivery) operations.
 #include <benchmark/benchmark.h>
+
+#include <map>
+#include <set>
 
 #include "cc/cubic.h"
 #include "core/elasticity.h"
 #include "exp/scenario.h"
 #include "legacy_event_loop.h"
+#include "pr2_event_loop.h"
 #include "sim/event_loop.h"
 #include "sim/network.h"
+#include "sim/rate_sampler.h"
+#include "sim/recorder.h"
+#include "sim/seq_ring.h"
 #include "spectral/fft.h"
 #include "spectral/goertzel.h"
 #include "util/rng.h"
@@ -160,6 +172,14 @@ void BM_EventLoopSteadyStateLegacy(benchmark::State& state) {
 }
 BENCHMARK(BM_EventLoopSteadyStateLegacy);
 
+// The PR 2 wheel core (bench/pr2_event_loop.h): distinct-deadline traffic
+// should be parity with it — the batched-drain rewrite must only change
+// the equal-time-run case.
+void BM_EventLoopSteadyStatePr2(benchmark::State& state) {
+  steady_state_workload<bench::Pr2EventLoop>(state);
+}
+BENCHMARK(BM_EventLoopSteadyStatePr2);
+
 void BM_EventLoopScheduleFire(benchmark::State& state) {
   schedule_fire_workload<sim::EventLoop>(state);
 }
@@ -208,6 +228,11 @@ void BM_EventLoopChurnLegacy(benchmark::State& state) {
 }
 BENCHMARK(BM_EventLoopChurnLegacy);
 
+void BM_EventLoopChurnPr2(benchmark::State& state) {
+  churn_workload<bench::Pr2EventLoop>(state);
+}
+BENCHMARK(BM_EventLoopChurnPr2);
+
 // Per-ACK RTO rearming: the timer is re-armed on every "ACK" and only
 // fires once at the end.  Items = rearm operations.
 template <typename Loop, typename TimerT>
@@ -235,6 +260,259 @@ void BM_TimerRearmLegacy(benchmark::State& state) {
   timer_rearm_workload<bench::LegacyEventLoop, bench::LegacyTimer>(state);
 }
 BENCHMARK(BM_TimerRearmLegacy);
+
+void BM_TimerRearmPr2(benchmark::State& state) {
+  timer_rearm_workload<bench::Pr2EventLoop, bench::Pr2Timer>(state);
+}
+BENCHMARK(BM_TimerRearmPr2);
+
+// --- same-time burst: the O(k^2) -> O(k log k) drain fix ----------------
+
+// A phase start wakes every flow at once: k events at one deadline.  The
+// PR 2 drain re-scanned the bucket per event (quadratic in the burst
+// size); the batched drain unlinks the whole run in one pass.  Items =
+// events processed.
+template <typename Loop>
+void same_time_burst_workload(benchmark::State& state) {
+  constexpr int kEvents = 4096;
+  std::uint64_t count = 0;
+  for (auto _ : state) {
+    Loop loop;
+    for (int i = 0; i < kEvents; ++i) {
+      loop.schedule(from_ms(5), AckSizedEvent<std::uint64_t>{&count, {}});
+    }
+    loop.run_until(from_sec(1));
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * kEvents);
+}
+
+void BM_EventLoopSameTimeBurst(benchmark::State& state) {
+  same_time_burst_workload<sim::EventLoop>(state);
+}
+BENCHMARK(BM_EventLoopSameTimeBurst);
+
+void BM_EventLoopSameTimeBurstLegacy(benchmark::State& state) {
+  same_time_burst_workload<bench::LegacyEventLoop>(state);
+}
+BENCHMARK(BM_EventLoopSameTimeBurstLegacy);
+
+// Against the PR 2 wheel, whose per-event min-scan drain is O(k^2) on a
+// k-event equal-time run — the hot spot the batched drain removes.
+void BM_EventLoopSameTimeBurstPr2(benchmark::State& state) {
+  same_time_burst_workload<bench::Pr2EventLoop>(state);
+}
+BENCHMARK(BM_EventLoopSameTimeBurstPr2);
+
+// --- ACK path: outstanding-packet tracking, ring vs map -----------------
+
+// The PR 2 transport's window state, verbatim: a std::map keyed by seq
+// with the same find/erase/iterate pattern handle_ack and detect_losses
+// ran per ACK.
+struct LegacyOutstandingMap {
+  struct Rec {
+    TimeNs sent_at;
+    bool retransmit;
+  };
+  std::map<std::uint64_t, Rec> m;
+
+  void insert(std::uint64_t seq, TimeNs t) { m[seq] = {t, false}; }
+  bool erase_seq(std::uint64_t seq) {
+    auto it = m.find(seq);
+    if (it == m.end()) return false;
+    m.erase(it);
+    return true;
+  }
+  void erase_through(std::uint64_t cum_ack) {
+    while (!m.empty() && m.begin()->first <= cum_ack) m.erase(m.begin());
+  }
+  std::uint64_t scan_below(std::uint64_t bound) {
+    std::uint64_t aged = 0;
+    for (auto it = m.begin(); it != m.end() && it->first < bound; ++it) {
+      aged += static_cast<std::uint64_t>(it->second.sent_at != 0);
+    }
+    return aged;
+  }
+  std::size_t size() const { return m.size(); }
+};
+
+// The same operations on the seq-indexed ring the transport now uses.
+struct RingOutstanding {
+  struct Rec {
+    TimeNs sent_at;
+    bool retransmit;
+  };
+  sim::SeqRing<Rec> m;
+
+  void insert(std::uint64_t seq, TimeNs t) { m.insert(seq, {t, false}); }
+  bool erase_seq(std::uint64_t seq) { return m.erase(seq); }
+  void erase_through(std::uint64_t cum_ack) {
+    while (!m.empty() && m.lowest() <= cum_ack) m.erase(m.lowest());
+  }
+  std::uint64_t scan_below(std::uint64_t bound) {
+    std::uint64_t aged = 0;
+    if (!m.empty()) {
+      m.for_each_in(m.lowest(), bound, [&](std::uint64_t, Rec& r) {
+        aged += static_cast<std::uint64_t>(r.sent_at != 0);
+      });
+    }
+    return aged;
+  }
+  std::size_t size() const { return m.size(); }
+};
+
+// Steady-state ACK clocking over a W-packet window: every ACK retires the
+// lowest outstanding sequence and sends a new one at the frontier; every
+// 16th ACK opens a SACK hole (erase mid-window, later re-inserted as a
+// retransmission) and runs the detect_losses scan over the hole region.
+// Items = ACKs.
+template <typename Outstanding>
+void ack_path_outstanding_workload(benchmark::State& state) {
+  constexpr std::uint64_t kWindow = 256;
+  constexpr int kAcks = 8192;
+  Outstanding out;
+  std::uint64_t frontier = 0;
+  for (; frontier < kWindow; ++frontier) {
+    out.insert(frontier, static_cast<TimeNs>(frontier + 1));
+  }
+  std::uint64_t sink = 0;
+  std::uint64_t hole = 0;
+  bool have_hole = false;
+  for (auto _ : state) {
+    for (int a = 0; a < kAcks; ++a) {
+      const std::uint64_t cum = frontier - kWindow;
+      out.erase_seq(cum);
+      out.erase_through(cum);  // no-op in the common hole-free case
+      if (a % 16 == 7) {
+        if (have_hole) {
+          out.insert(hole, static_cast<TimeNs>(hole + 1));  // retransmit
+          have_hole = false;
+        } else {
+          hole = cum + kWindow / 2;
+          out.erase_seq(hole);  // SACK above a loss
+          sink += out.scan_below(hole + 3);
+          have_hole = true;
+        }
+      }
+      out.insert(frontier, static_cast<TimeNs>(frontier + 1));
+      ++frontier;
+    }
+    benchmark::DoNotOptimize(sink);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * kAcks);
+}
+
+void BM_AckPathOutstandingRing(benchmark::State& state) {
+  ack_path_outstanding_workload<RingOutstanding>(state);
+}
+BENCHMARK(BM_AckPathOutstandingRing);
+
+void BM_AckPathOutstandingMapLegacy(benchmark::State& state) {
+  ack_path_outstanding_workload<LegacyOutstandingMap>(state);
+}
+BENCHMARK(BM_AckPathOutstandingMapLegacy);
+
+// --- ACK path: rate sampling, prefix-sum ring vs deque re-summation -----
+
+// The real per-ACK pattern: record the sample, then evaluate Eq. (2) over
+// one cwnd of packets (Nimbus and BBR read the rates on every ACK).  The
+// reference deque re-sums the whole window each query.  Items = ACKs.
+template <typename Sampler>
+void ack_path_rate_sampler_workload(benchmark::State& state) {
+  const double cwnd_bytes = state.range(0) * 1500.0;
+  constexpr int kAcks = 4096;
+  Sampler s;
+  TimeNs sent = 0;
+  TimeNs acked = from_ms(50);
+  double sink = 0;
+  for (auto _ : state) {
+    for (int a = 0; a < kAcks; ++a) {
+      sent += 1'000'000;
+      acked += 1'000'000;
+      s.on_ack(sent, acked, 1500);
+      sink += s.rates_over_window(cwnd_bytes, 1500).send_bps;
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * kAcks);
+}
+
+void BM_AckPathRateSamplerRing(benchmark::State& state) {
+  ack_path_rate_sampler_workload<sim::RateSampler>(state);
+}
+BENCHMARK(BM_AckPathRateSamplerRing)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_AckPathRateSamplerDequeLegacy(benchmark::State& state) {
+  ack_path_rate_sampler_workload<sim::ReferenceRateSampler>(state);
+}
+BENCHMARK(BM_AckPathRateSamplerDequeLegacy)->Arg(64)->Arg(256)->Arg(1024);
+
+// --- delivery path: recorder, flat vectors vs maps ----------------------
+
+// The PR 2 recorder's per-delivery/per-ACK state, verbatim.
+struct LegacyMapRecorder {
+  std::set<sim::FlowId> tracked;
+  std::map<sim::FlowId, util::ByteCounter> delivered;
+  std::map<sim::FlowId, util::TimeSeries> queue_delay;
+  std::map<sim::FlowId, util::TimeSeries> rtt;
+
+  void track(sim::FlowId id) { tracked.insert(id); }
+  void on_delivery(const sim::Packet& p, TimeNs t) {
+    delivered[p.flow_id].add(t, p.size_bytes);
+    if (tracked.count(p.flow_id)) {
+      queue_delay[p.flow_id].add(t, to_ms(t - p.enqueued_at));
+    }
+  }
+  void on_rtt_sample(sim::FlowId id, TimeNs now, TimeNs r) {
+    rtt[id].add(now, to_ms(r));
+  }
+};
+
+// Interleaved deliveries + RTT samples across 8 flows (one tracked), the
+// mix Network feeds the recorder.  Each iteration records one recorder
+// lifetime (fresh object, 32k deliveries) so successive iterations measure
+// the same state shape.  Items = deliveries.
+template <typename Rec>
+void recorder_delivery_workload(benchmark::State& state) {
+  constexpr int kDeliveries = 32768;
+  sim::Packet p;
+  p.size_bytes = 1500;
+  for (auto _ : state) {
+    Rec rec;
+    rec.track(1);
+    TimeNs t = 0;
+    for (int i = 0; i < kDeliveries; ++i) {
+      t += 10000;
+      p.flow_id = static_cast<sim::FlowId>(1 + (i & 7));
+      p.enqueued_at = t - 5000;
+      rec.on_delivery(p, t);
+      rec.on_rtt_sample(p.flow_id, t, from_ms(50));
+    }
+    benchmark::DoNotOptimize(rec);
+  }
+  state.SetItemsProcessed(state.iterations() * kDeliveries);
+}
+
+// Recorder::track_flow has a different name than the bench adapter above.
+struct CurrentRecorderAdapter {
+  sim::Recorder rec;
+  void track(sim::FlowId id) { rec.track_flow(id); }
+  void on_delivery(const sim::Packet& p, TimeNs t) { rec.on_delivery(p, t); }
+  void on_rtt_sample(sim::FlowId id, TimeNs now, TimeNs r) {
+    rec.on_rtt_sample(id, now, r);
+  }
+};
+
+void BM_DeliveryPathRecorderFlat(benchmark::State& state) {
+  recorder_delivery_workload<CurrentRecorderAdapter>(state);
+}
+BENCHMARK(BM_DeliveryPathRecorderFlat);
+
+void BM_DeliveryPathRecorderMapLegacy(benchmark::State& state) {
+  recorder_delivery_workload<LegacyMapRecorder>(state);
+}
+BENCHMARK(BM_DeliveryPathRecorderMapLegacy);
 
 // --- queue disc ---------------------------------------------------------
 

@@ -1,0 +1,495 @@
+// The PR 2 event core (commit 3131203), kept verbatim as an in-binary
+// baseline: bench_micro measures the PR 3 drain rewrite (batched
+// equal-time runs) against it on the same host and compiler in one run,
+// and scripts/bench_report.sh --compare gates CI on the resulting
+// host-independent speedups.  Only mechanical changes from the committed
+// source: classes renamed Pr2EventLoop / Pr2Timer, EventCallback reused
+// from sim/event_loop.h, definitions made inline, moved into
+// nimbus::bench.  Bench-only: nothing in src/ may include this.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "util/check.h"
+#include "util/time.h"
+
+namespace nimbus::bench {
+
+using sim::EventCallback;
+using TimeNs = nimbus::TimeNs;
+using EventId = std::uint64_t;
+class Pr2EventLoop {
+ public:
+  using Callback = EventCallback;
+
+  Pr2EventLoop();
+
+  /// Schedules `cb` at absolute time `t` (must be >= now()).  Accepts any
+  /// callable; it is constructed directly into a pooled slot.
+  template <typename F>
+  EventId schedule(TimeNs t, F&& cb) {
+    const std::uint32_t s = acquire_slot(t);
+    Slot& slot = slot_ref(s);
+    slot.cb.emplace<F>(std::forward<F>(cb));
+    const EventId id = make_event_id(s);
+    slot.pending_id = id;
+    slot.time = static_cast<std::uint64_t>(t);
+    enqueue_entry(t, id);
+    ++live_;
+    return id;
+  }
+
+  /// Schedules `cb` after a relative delay.
+  template <typename F>
+  EventId schedule_in(TimeNs delay, F&& cb) {
+    return schedule(now_ + delay, std::forward<F>(cb));
+  }
+
+  /// Cancels a pending event; no-op if already fired or cancelled.
+  void cancel(EventId id);
+
+  /// Moves a *pending* event to a new time, keeping its slot and callback.
+  /// Returns the replacement id (the old id becomes invalid).  The event
+  /// takes a fresh FIFO position, exactly as cancel() + schedule() would.
+  EventId reschedule(EventId id, TimeNs t);
+
+  /// Runs events until the queue empties or the next event is past `t_end`;
+  /// now() is t_end afterwards (unless stop() was called earlier).
+  void run_until(TimeNs t_end);
+
+  /// Runs until the queue is empty.
+  void run();
+
+  /// Stops the loop after the current callback returns.
+  void stop() { stopped_ = true; }
+
+  TimeNs now() const { return now_; }
+  std::size_t pending_events() const { return live_; }
+  std::uint64_t processed_events() const { return processed_; }
+  /// High-water mark of the slot pool — the largest number of events that
+  /// were ever pending at once (introspection / tests).
+  std::size_t allocated_slots() const { return total_slots_; }
+
+ private:
+  // EventId layout: [seq : 44][slot : 20].  seq is a global monotone
+  // counter starting at 1, so ids are unique and nonzero; ~17e12 events
+  // and ~1e6 concurrent events per loop, both far beyond any scenario.
+  static constexpr std::uint32_t kSlotBits = 20;
+  static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  static constexpr std::size_t kChunkShift = 9;  // 512 slots per chunk
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+
+  // Timing-wheel geometry: 2^14 buckets of 2^13 ns (~8.2 us) give a
+  // ~134 ms horizon — wide enough for every per-packet event, ACK delivery
+  // and report/pacing timer at paper-scale RTTs; RTOs and flow starts
+  // overflow to the far heap and migrate in as the window slides.
+  static constexpr std::uint64_t kBucketShift = 13;
+  static constexpr std::uint64_t kWheelBits = 14;
+  static constexpr std::uint64_t kWheelSize = std::uint64_t{1} << kWheelBits;
+  static constexpr std::uint64_t kWheelMask = kWheelSize - 1;
+  static constexpr std::size_t kOccWords = kWheelSize / 64;
+
+  // One 128-bit key = [time : 64][seq : 44][slot : 20]: a single unsigned
+  // compare orders by (time, seq) — a strict total order (seq is unique),
+  // so extraction follows exactly the seed implementation's (time, id)
+  // order; the slot rides along for free.
+  struct Entry {
+    unsigned __int128 key;
+  };
+  static unsigned __int128 pack_key(TimeNs t, std::uint64_t id) {
+    return static_cast<unsigned __int128>(static_cast<std::uint64_t>(t))
+               << 64 |
+           id;
+  }
+  static TimeNs time_of(unsigned __int128 key) {
+    return static_cast<TimeNs>(static_cast<std::uint64_t>(key >> 64));
+  }
+
+  struct Slot {
+    Callback cb;
+    std::uint64_t pending_id = 0;    // 0 = empty/free
+    std::uint64_t time = 0;          // deadline of the pending event
+    std::uint32_t next_free = kNoSlot;
+  };
+
+  Slot& slot_ref(std::uint32_t s) {
+    return chunks_[s >> kChunkShift][s & (kChunkSize - 1)];
+  }
+
+  EventId make_event_id(std::uint32_t s) {
+    NIMBUS_CHECK_MSG(next_seq_ < std::uint64_t{1} << (64 - kSlotBits),
+                     "event sequence space exhausted");
+    return next_seq_++ << kSlotBits | s;
+  }
+
+  std::uint32_t acquire_slot(TimeNs t);
+  void release_slot(std::uint32_t s);
+
+  // Wheel entries are 24-byte nodes in a pooled arena, linked into their
+  // bucket.  The pool's high-water mark tracks the maximum number of
+  // concurrently pending near events — not which buckets simulated time
+  // happens to visit — so steady-state insertion allocates nothing no
+  // matter how far the clock advances.
+  struct Node {
+    std::uint64_t time;
+    std::uint64_t id;
+    std::uint32_t next;
+  };
+  static unsigned __int128 node_key(const Node& n) {
+    return static_cast<unsigned __int128>(n.time) << 64 | n.id;
+  }
+  static constexpr std::uint32_t kNilNode = 0xffffffffu;
+
+  // --- ready queue (wheel + far heap) ---
+  void enqueue_entry(TimeNs t, std::uint64_t id);
+  void wheel_insert(TimeNs t, std::uint64_t id, std::uint64_t abs_bucket);
+  void wheel_unlink_if_near(const Slot& slot, std::uint64_t id);
+  std::uint64_t next_nonempty_bucket() const;  // needs wheel_count_ > 0
+  void pull_far_into_window();
+  void heap_push(Entry e);
+  void heap_pop_min();
+
+  std::vector<Node> pool_;            // wheel-node arena (index-linked)
+  std::uint32_t node_free_ = kNilNode;
+  std::array<std::uint32_t, kWheelSize> bucket_head_;  // kNilNode = empty
+  std::array<std::uint64_t, kOccWords> occ_{};  // non-empty-bucket bitmap
+  std::uint64_t cursor_ = 0;     // absolute index of the window's first bucket
+  std::size_t wheel_count_ = 0;  // entries currently in the wheel
+  std::vector<Entry> heap_;      // implicit 4-ary min-heap of far events
+
+  // Fixed-size chunks give slots stable addresses, so callbacks are
+  // invoked in place even if the pool grows mid-callback.
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::uint32_t total_slots_ = 0;
+  std::size_t live_ = 0;
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+/// A single rearmable timer (e.g. an RTO).  Re-arming cancels the previous
+/// schedule; fire() is invoked at most once per arm.  The user callback is
+/// stored in the timer itself and the loop only holds an 8-byte trampoline,
+/// so arming never allocates; re-arming while armed reuses the pending
+/// slot via Pr2EventLoop::reschedule.
+class Pr2Timer {
+ public:
+  explicit Pr2Timer(Pr2EventLoop* loop) : loop_(loop) {}
+  ~Pr2Timer() { cancel(); }
+
+  Pr2Timer(const Pr2Timer&) = delete;
+  Pr2Timer& operator=(const Pr2Timer&) = delete;
+
+  void arm(TimeNs at, Pr2EventLoop::Callback cb);
+  void arm_in(TimeNs delay, Pr2EventLoop::Callback cb) {
+    arm(loop_->now() + delay, std::move(cb));
+  }
+  void cancel();
+  bool armed() const { return armed_; }
+  TimeNs deadline() const { return deadline_; }
+
+ private:
+  struct Fire {
+    Pr2Timer* timer;
+    void operator()() const { timer->fire(); }
+  };
+  void fire();
+
+  Pr2EventLoop* loop_;
+  Pr2EventLoop::Callback cb_;
+  EventId pending_ = 0;
+  bool armed_ = false;
+  TimeNs deadline_ = 0;
+};
+
+
+inline Pr2EventLoop::Pr2EventLoop() { bucket_head_.fill(kNilNode); }
+
+inline std::uint32_t Pr2EventLoop::acquire_slot(TimeNs t) {
+  NIMBUS_CHECK_MSG(t >= now_, "cannot schedule events in the past");
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t s = free_head_;
+    free_head_ = slot_ref(s).next_free;
+    return s;
+  }
+  NIMBUS_CHECK_MSG(total_slots_ <= kSlotMask, "event slot pool exhausted");
+  if (total_slots_ == chunks_.size() * kChunkSize) {
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+  }
+  return total_slots_++;
+}
+
+inline void Pr2EventLoop::release_slot(std::uint32_t s) {
+  Slot& slot = slot_ref(s);
+  slot.pending_id = 0;
+  slot.cb.reset();  // free for inline callables (no destructor work)
+  slot.next_free = free_head_;
+  free_head_ = s;
+}
+
+inline void Pr2EventLoop::wheel_insert(TimeNs t, std::uint64_t id,
+                             std::uint64_t abs_bucket) {
+  std::uint32_t n;
+  if (node_free_ != kNilNode) {
+    n = node_free_;
+    node_free_ = pool_[n].next;
+  } else {
+    n = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  const std::uint64_t b = abs_bucket & kWheelMask;
+  pool_[n] = {static_cast<std::uint64_t>(t), id, bucket_head_[b]};
+  bucket_head_[b] = n;
+  occ_[b >> 6] |= std::uint64_t{1} << (b & 63);
+  ++wheel_count_;
+}
+
+inline void Pr2EventLoop::enqueue_entry(TimeNs t, std::uint64_t id) {
+  // Clamp to the cursor: after a run_until() boundary the cursor can sit
+  // ahead of now(), and an entry bucketed below it could alias a bucket a
+  // full wheel turn away.  Clamping is order-preserving — every bucket
+  // below the cursor is empty, and buckets drain by smallest (time, seq)
+  // key, so an early entry placed in the cursor bucket still fires first.
+  const std::uint64_t ab = std::max(
+      static_cast<std::uint64_t>(t) >> kBucketShift, cursor_);
+  if (ab >= cursor_ + kWheelSize) {
+    heap_push({pack_key(t, id)});
+  } else {
+    wheel_insert(t, id, ab);
+  }
+}
+
+inline std::uint64_t Pr2EventLoop::next_nonempty_bucket() const {
+  const std::uint64_t start = cursor_ & kWheelMask;
+  std::uint64_t w = start >> 6;
+  std::uint64_t word = occ_[w] & (~std::uint64_t{0} << (start & 63));
+  while (word == 0) {
+    w = (w + 1) & (kOccWords - 1);
+    word = occ_[w];
+  }
+  const auto pos =
+      (w << 6) | static_cast<std::uint64_t>(__builtin_ctzll(word));
+  // Convert the circular position back to an absolute bucket index.
+  const std::uint64_t base = cursor_ - start;
+  return pos >= start ? base + pos : base + pos + kWheelSize;
+}
+
+// Eagerly unlinks the pending entry for `slot` if it lives in the wheel
+// (far-heap entries are left behind as lazy tombstones — pull and pop drop
+// them).  Keeping buckets tombstone-free bounds the drain scan by the real
+// per-bucket concurrency: without this, a flow's per-ACK RTO rearms pile
+// thousands of dead entries into one deadline bucket and the drain's
+// min-scan degenerates quadratically.
+inline void Pr2EventLoop::wheel_unlink_if_near(const Slot& slot, std::uint64_t id) {
+  const std::uint64_t ab =
+      std::max(slot.time >> kBucketShift, cursor_);
+  if (ab >= cursor_ + kWheelSize) return;  // in the far heap
+  const std::uint64_t b = ab & kWheelMask;
+  std::uint32_t prev = kNilNode;
+  for (std::uint32_t cur = bucket_head_[b]; cur != kNilNode;
+       prev = cur, cur = pool_[cur].next) {
+    if (pool_[cur].id != id) continue;
+    if (prev == kNilNode) {
+      bucket_head_[b] = pool_[cur].next;
+    } else {
+      pool_[prev].next = pool_[cur].next;
+    }
+    pool_[cur].next = node_free_;
+    node_free_ = cur;
+    --wheel_count_;
+    if (bucket_head_[b] == kNilNode) {
+      occ_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+    }
+    return;
+  }
+  NIMBUS_CHECK_MSG(false, "pending near event missing from its bucket");
+}
+
+inline void Pr2EventLoop::pull_far_into_window() {
+  while (!heap_.empty()) {
+    const TimeNs t = time_of(heap_[0].key);
+    const std::uint64_t ab = static_cast<std::uint64_t>(t) >> kBucketShift;
+    if (ab >= cursor_ + kWheelSize) break;
+    const auto id = static_cast<std::uint64_t>(heap_[0].key);
+    heap_pop_min();
+    // Drop far tombstones here instead of carrying them into a bucket.
+    if (slot_ref(static_cast<std::uint32_t>(id & kSlotMask)).pending_id ==
+        id) {
+      wheel_insert(t, id, ab);
+    }
+  }
+}
+
+inline void Pr2EventLoop::heap_push(Entry e) {
+  // Hole-based sift-up: shift parents down and place the new entry once.
+  heap_.push_back(e);
+  std::size_t hole = heap_.size() - 1;
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) / 4;
+    if (heap_[parent].key <= e.key) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = e;
+}
+
+inline void Pr2EventLoop::heap_pop_min() {
+  // Hole-based sift-down of the last entry from the root.
+  const std::size_t n = heap_.size() - 1;
+  const Entry last = heap_[n];
+  heap_.pop_back();
+  if (n == 0) return;
+  std::size_t hole = 0;
+  for (;;) {
+    const std::size_t first = 4 * hole + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (heap_[c].key < heap_[best].key) best = c;
+    }
+    if (last.key <= heap_[best].key) break;
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  heap_[hole] = last;
+}
+
+inline void Pr2EventLoop::cancel(EventId id) {
+  const auto s = static_cast<std::uint32_t>(id & kSlotMask);
+  if (id == 0 || s >= total_slots_) return;
+  Slot& slot = slot_ref(s);
+  if (slot.pending_id != id) return;  // fired, cancelled, or stale
+  wheel_unlink_if_near(slot, id);
+  release_slot(s);
+  --live_;
+}
+
+inline EventId Pr2EventLoop::reschedule(EventId id, TimeNs t) {
+  const auto s = static_cast<std::uint32_t>(id & kSlotMask);
+  NIMBUS_CHECK_MSG(t >= now_, "cannot schedule events in the past");
+  NIMBUS_CHECK_MSG(id != 0 && s < total_slots_ &&
+                       slot_ref(s).pending_id == id,
+                   "reschedule of a fired or cancelled event");
+  Slot& slot = slot_ref(s);
+  wheel_unlink_if_near(slot, id);  // far entries become lazy tombstones
+  const EventId nid = make_event_id(s);
+  slot.pending_id = nid;
+  slot.time = static_cast<std::uint64_t>(t);
+  enqueue_entry(t, nid);
+  return nid;
+}
+
+inline void Pr2EventLoop::run_until(TimeNs t_end) {
+  stopped_ = false;
+  while (!stopped_) {
+    // Move the window to the next non-empty bucket (or jump it to the far
+    // heap's earliest entry), then migrate far events that the slide
+    // exposed.
+    if (wheel_count_ > 0) {
+      cursor_ = next_nonempty_bucket();
+    } else if (!heap_.empty()) {
+      cursor_ =
+          static_cast<std::uint64_t>(time_of(heap_[0].key)) >> kBucketShift;
+    } else {
+      break;  // queue empty
+    }
+    pull_far_into_window();
+
+    // Drain bucket `cursor_` in (time, seq) order by repeatedly unlinking
+    // the smallest-key node.  Callbacks may append to this same bucket
+    // (they cannot make anything earlier pending), so re-scan until it is
+    // empty or the next event is past t_end.
+    const std::uint64_t b = cursor_ & kWheelMask;
+    bool reached_end = false;
+    while (!stopped_) {
+      const std::uint32_t head = bucket_head_[b];
+      if (head == kNilNode) break;
+      std::uint32_t best = head;
+      std::uint32_t best_prev = kNilNode;
+      unsigned __int128 best_key = node_key(pool_[head]);
+      for (std::uint32_t prev = head, cur = pool_[head].next;
+           cur != kNilNode; prev = cur, cur = pool_[cur].next) {
+        const unsigned __int128 k = node_key(pool_[cur]);
+        if (k < best_key) {
+          best_key = k;
+          best = cur;
+          best_prev = prev;
+        }
+      }
+      const auto t = static_cast<TimeNs>(pool_[best].time);
+      if (t > t_end) {
+        reached_end = true;
+        break;
+      }
+      const std::uint64_t id = pool_[best].id;
+      if (best_prev == kNilNode) {
+        bucket_head_[b] = pool_[best].next;
+      } else {
+        pool_[best_prev].next = pool_[best].next;
+      }
+      pool_[best].next = node_free_;
+      node_free_ = best;
+      --wheel_count_;
+      Slot& slot = slot_ref(static_cast<std::uint32_t>(id & kSlotMask));
+      if (slot.pending_id != id) continue;  // cancelled / rescheduled
+      now_ = t;
+      slot.pending_id = 0;  // a self-cancel inside the callback is a no-op
+      --live_;
+      ++processed_;
+      // In-place invocation: chunked slots have stable addresses, so the
+      // callback may grow the pools or the queue freely while running.
+      // The slot is not on the free list yet, so nothing can re-occupy it.
+      slot.cb();
+      slot.cb.reset();
+      slot.next_free = free_head_;
+      free_head_ = static_cast<std::uint32_t>(id & kSlotMask);
+    }
+    if (bucket_head_[b] == kNilNode) {
+      occ_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+    }
+    if (reached_end) break;
+  }
+  if (!stopped_ && now_ < t_end) now_ = t_end;
+}
+
+inline void Pr2EventLoop::run() { run_until(std::numeric_limits<TimeNs>::max()); }
+
+inline void Pr2Timer::arm(TimeNs at, Pr2EventLoop::Callback cb) {
+  cb_ = std::move(cb);
+  deadline_ = at;
+  if (armed_) {
+    // Fast path: keep the slot and trampoline, move only the queue entry.
+    pending_ = loop_->reschedule(pending_, at);
+    return;
+  }
+  armed_ = true;
+  pending_ = loop_->schedule(at, Fire{this});
+}
+
+inline void Pr2Timer::cancel() {
+  if (armed_) {
+    loop_->cancel(pending_);
+    armed_ = false;
+    cb_.reset();
+  }
+}
+
+inline void Pr2Timer::fire() {
+  armed_ = false;
+  // Move out before invoking: the callback may re-arm this timer.
+  Pr2EventLoop::Callback cb = std::move(cb_);
+  cb();
+}
+
+}  // namespace nimbus::bench

@@ -1,30 +1,50 @@
 #!/usr/bin/env bash
-# Perf measurement layer (ISSUE 2): runs the event-loop and end-to-end
-# microbenchmarks and emits a BENCH_*.json snapshot so every later PR can
-# be compared against this one.
+# Perf measurement layer (ISSUE 2, extended in ISSUE 3): runs the
+# event-loop, ACK-path, and end-to-end microbenchmarks and emits a
+# BENCH_*.json snapshot so every later PR can be compared against this one.
 #
-# Usage: scripts/bench_report.sh [--quick] [output.json]
+# Usage: scripts/bench_report.sh [--quick] [--compare BASELINE.json] [output.json]
 #
-#   --quick    shorter benchmark repetitions (CI smoke; timings noisier)
-#   output     defaults to BENCH_PR2.json in the repo root
+#   --quick     shorter benchmark repetitions (CI smoke; timings noisier)
+#   --compare   print a per-bench delta table against a previous BENCH_*.json
+#               and gate: exit non-zero if any *gated* in-binary pair in the
+#               current run shows the new implementation >10% slower than
+#               the previous implementation compiled into the same binary.
+#               (The dev VMs and CI runners migrate between physical hosts
+#               and report identical context either way, so absolute
+#               events/sec — and even speedups against a fixed legacy —
+#               drift 20%+ across sessions; the cross-file table is
+#               printed for trajectory, while the gate uses only same-run
+#               same-process pairs, the one comparison that is
+#               host-independent.  Pairs marked gated are the structural
+#               rewrites, whose speedups dwarf measurement noise; parity
+#               pairs are reported but not gated.)
+#   output      defaults to BENCH_PR3.json in the repo root
 #
 # The "before" numbers come from the same binary: bench_micro runs every
-# event-loop workload against both the current core and a verbatim copy of
-# the seed implementation (bench/legacy_event_loop.h), so the speedup is
-# measured on the same host, compiler, and flags.  The end-to-end section
-# also records the seed-commit wall times measured when this PR was made
-# (host-specific; see README "Performance").
+# workload against a verbatim copy of the previous implementation
+# (bench/legacy_event_loop.h = the seed core, bench/pr2_event_loop.h = the
+# PR 2 wheel core, plus the PR 2 std::map outstanding tracking, deque rate
+# sampler, and map recorder), so every speedup is measured on the same
+# host, compiler, and flags.  All micro numbers are medians of 3
+# repetitions.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK=0
-OUT=BENCH_PR2.json
-for arg in "$@"; do
-  case "$arg" in
+OUT=BENCH_PR3.json
+COMPARE=""
+while [ $# -gt 0 ]; do
+  case "$1" in
     --quick) QUICK=1 ;;
-    -*) echo "usage: $0 [--quick] [output.json]" >&2; exit 2 ;;
-    *) OUT="$arg" ;;
+    --compare)
+      shift
+      COMPARE="${1:?--compare needs a baseline json}"
+      ;;
+    -*) echo "usage: $0 [--quick] [--compare BASELINE.json] [output.json]" >&2; exit 2 ;;
+    *) OUT="$1" ;;
   esac
+  shift
 done
 
 BUILD="${BUILD_DIR:-build}"
@@ -41,10 +61,12 @@ if [ "$QUICK" = 1 ]; then MIN_TIME=0.05; fi
 MICRO_JSON=$(mktemp)
 trap 'rm -f "$MICRO_JSON"' EXIT
 
-echo "== bench_micro (min_time=${MIN_TIME}s) =="
+echo "== bench_micro (min_time=${MIN_TIME}s, median of 3) =="
 "$MICRO" \
-  --benchmark_filter='EventLoop|Timer|SimulatedSecond' \
+  --benchmark_filter='EventLoop|Timer|SimulatedSecond|AckPath|Delivery' \
   --benchmark_min_time="$MIN_TIME" \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
   --benchmark_format=json > "$MICRO_JSON"
 
 echo "== bench_fig08 quick mode (wall clock) =="
@@ -55,21 +77,30 @@ FIG08_SECS=$(echo "$FIG08_END $FIG08_START" | awk '{printf "%.2f", $1 - $2}')
 echo "bench_fig08 quick: ${FIG08_SECS}s"
 
 OUT="$OUT" MICRO_JSON="$MICRO_JSON" FIG08_SECS="$FIG08_SECS" QUICK="$QUICK" \
+COMPARE="$COMPARE" \
 python3 - <<'EOF'
 import json
 import os
+import sys
 
 micro = json.load(open(os.environ["MICRO_JSON"]))
-by_name = {b["name"]: b for b in micro["benchmarks"]}
+# Keyed by run_name, keeping the median aggregate of the 3 repetitions.
+by_name = {}
+for b in micro["benchmarks"]:
+    if b.get("aggregate_name", "median") == "median":
+        by_name[b.get("run_name", b["name"])] = b
 
 def items_per_sec(name):
     b = by_name.get(name)
     return b["items_per_second"] if b else None
 
-def pair(current, legacy):
+def pair(current, legacy, gated):
+    """gated pairs fail --compare when speedup < 0.9 (new code >10% slower
+    than the implementation it replaced, same binary, same run)."""
     after = items_per_sec(current)
     before = items_per_sec(legacy)
-    out = {"before_events_per_sec": before, "after_events_per_sec": after}
+    out = {"before_events_per_sec": before, "after_events_per_sec": after,
+           "gated": gated}
     if before and after:
         out["speedup"] = round(after / before, 2)
     return out
@@ -78,20 +109,56 @@ cubic = by_name.get("BM_SimulatedSecondCubic")
 scenario = by_name.get("BM_SimulatedSecondScenario")
 
 report = {
-    "pr": 2,
+    "pr": 3,
     "generated_by": "scripts/bench_report.sh"
                     + (" --quick" if os.environ["QUICK"] == "1" else ""),
     "host": micro.get("context", {}),
+    # Against the seed core (bench/legacy_event_loop.h), for trajectory
+    # continuity with BENCH_PR2.json.
+    # Gated pairs are the structural wins whose speedup (>= ~2x) dwarfs
+    # the +/-20% session-to-session noise of these VMs; pairs whose true
+    # ratio sits near 1x (schedule/cancel churn and timer rearm beat the
+    # seed core only modestly, and depend on the host) are reported but
+    # not gated, so a noisy run cannot fail CI spuriously.
     "event_loop_microbench": {
-        # Workload shapes (see bench/bench_micro.cc); "before" is the seed
-        # event core compiled into the same binary from
-        # bench/legacy_event_loop.h.
         "steady_state": pair("BM_EventLoopSteadyState",
-                             "BM_EventLoopSteadyStateLegacy"),
+                             "BM_EventLoopSteadyStateLegacy", True),
         "schedule_fire_burst": pair("BM_EventLoopScheduleFire",
-                                    "BM_EventLoopScheduleFireLegacy"),
-        "churn": pair("BM_EventLoopChurn", "BM_EventLoopChurnLegacy"),
-        "timer_rearm": pair("BM_TimerRearm", "BM_TimerRearmLegacy"),
+                                    "BM_EventLoopScheduleFireLegacy", False),
+        "churn": pair("BM_EventLoopChurn", "BM_EventLoopChurnLegacy", False),
+        "timer_rearm": pair("BM_TimerRearm", "BM_TimerRearmLegacy", False),
+        "same_time_burst": pair("BM_EventLoopSameTimeBurst",
+                                "BM_EventLoopSameTimeBurstLegacy", True),
+    },
+    # New in PR 3: against the PR 2 wheel core compiled into the same
+    # binary (bench/pr2_event_loop.h).  The burst pair is the structural
+    # win (O(k^2) -> O(k log k) drain) and is gated; the others assert
+    # parity on distinct-deadline traffic and are informational (their
+    # true value is ~1.0, inside measurement noise).
+    "event_core_vs_pr2": {
+        "same_time_burst": pair("BM_EventLoopSameTimeBurst",
+                                "BM_EventLoopSameTimeBurstPr2", True),
+        "steady_state": pair("BM_EventLoopSteadyState",
+                             "BM_EventLoopSteadyStatePr2", False),
+        "churn": pair("BM_EventLoopChurn", "BM_EventLoopChurnPr2", False),
+        "timer_rearm": pair("BM_TimerRearm", "BM_TimerRearmPr2", False),
+    },
+    # New in PR 3: per-ACK data-path workloads against the PR 2 node-based
+    # implementations (std::map outstanding tracking, deque rate sampler
+    # with O(cwnd) re-summation, map/set recorder) in the same binary.
+    "ack_path_microbench": {
+        "outstanding_ring": pair("BM_AckPathOutstandingRing",
+                                 "BM_AckPathOutstandingMapLegacy", True),
+        "rate_sampler_w64": pair("BM_AckPathRateSamplerRing/64",
+                                 "BM_AckPathRateSamplerDequeLegacy/64", True),
+        "rate_sampler_w256": pair("BM_AckPathRateSamplerRing/256",
+                                  "BM_AckPathRateSamplerDequeLegacy/256",
+                                  True),
+        "rate_sampler_w1024": pair("BM_AckPathRateSamplerRing/1024",
+                                   "BM_AckPathRateSamplerDequeLegacy/1024",
+                                   True),
+        "recorder_delivery": pair("BM_DeliveryPathRecorderFlat",
+                                  "BM_DeliveryPathRecorderMapLegacy", False),
     },
     "end_to_end": {
         "simulated_second_cubic_sim_sec_per_wall_sec":
@@ -107,6 +174,14 @@ report = {
             "bench_fig08_quick_wall_seconds": 7.21,
             "simulated_second_cubic_sim_sec_per_wall_sec": 11.9,
         },
+        # PR 2 HEAD measured on the PR-3 dev container (same session as
+        # this report's numbers): quick-mode wall seconds before/after the
+        # ACK-path rewrite, bit-identical output.
+        "pr2_baseline_dev_host": {
+            "bench_fig08_quick_wall_seconds": 4.73,
+            "bench_fig09_quick_wall_seconds": 2.88,
+            "bench_table1_quick_wall_seconds": 5.72,
+        },
     },
 }
 
@@ -115,8 +190,77 @@ with open(out, "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")
 
+def sections(rep):
+    for s in ("event_loop_microbench", "event_core_vs_pr2",
+              "ack_path_microbench"):
+        for name, p in rep.get(s, {}).items():
+            if isinstance(p, dict) and "after_events_per_sec" in p:
+                yield f"{s}.{name}", p
+
 ss = report["event_loop_microbench"]["steady_state"]
+ack = report["ack_path_microbench"]["outstanding_ring"]
+burst = report["event_core_vs_pr2"]["same_time_burst"]
 print(f"wrote {out}")
-print(f"steady-state events/sec: {ss['before_events_per_sec']:.3g} -> "
+print(f"steady-state events/sec vs seed core: "
+      f"{ss['before_events_per_sec']:.3g} -> "
       f"{ss['after_events_per_sec']:.3g} ({ss.get('speedup', '?')}x)")
+print(f"ACK-path outstanding ops/sec vs PR 2 map: "
+      f"{ack['before_events_per_sec']:.3g} -> "
+      f"{ack['after_events_per_sec']:.3g} ({ack.get('speedup', '?')}x)")
+print(f"same-time burst vs PR 2 drain: "
+      f"{burst['before_events_per_sec']:.3g} -> "
+      f"{burst['after_events_per_sec']:.3g} ({burst.get('speedup', '?')}x)")
+
+# ---- --compare: cross-file delta table + same-run regression gate -------
+
+baseline_path = os.environ["COMPARE"]
+if baseline_path:
+    base = json.load(open(baseline_path))
+    prev = dict(sections(base))
+    cur = dict(sections(report))
+
+    print(f"\n== delta vs {baseline_path} (pr {base.get('pr', '?')}; "
+          f"cross-session numbers drift with VM placement — informational) ==")
+    print(f"{'bench':44} {'prev ev/s':>11} {'now ev/s':>11} {'abs':>8}"
+          f" {'prev x':>7} {'now x':>7}")
+    for name in sorted(set(cur) | set(prev)):
+        c, p = cur.get(name), prev.get(name)
+        if not p:
+            print(f"{name:44} {'-':>11} {c['after_events_per_sec']:11.3g}"
+                  f" {'new':>8} {'-':>7} {c.get('speedup', 0):6.2f}x")
+            continue
+        if not c:
+            print(f"{name:44} {p['after_events_per_sec']:11.3g} {'-':>11}"
+                  f" {'gone':>8}")
+            continue
+        abs_delta = (c["after_events_per_sec"] / p["after_events_per_sec"]
+                     - 1.0) * 100.0
+        print(f"{name:44} {p['after_events_per_sec']:11.3g}"
+              f" {c['after_events_per_sec']:11.3g} {abs_delta:+7.1f}%"
+              f" {p.get('speedup', 0):6.2f}x {c.get('speedup', 0):6.2f}x")
+
+    e_prev = base.get("end_to_end", {})
+    w_cur = report["end_to_end"].get("bench_fig08_quick_wall_seconds")
+    w_prev = e_prev.get("bench_fig08_quick_wall_seconds")
+    if w_cur and w_prev:
+        print(f"{'fig08 quick wall (s)':44} {w_prev:11.2f} {w_cur:11.2f}"
+              f" {(w_cur / w_prev - 1.0) * 100.0:+7.1f}%")
+
+    # The gate: same-run, same-binary pairs only.  A gated pair measures
+    # the current implementation against the one it replaced inside one
+    # process, so speedup < 0.9 means a real >10% events/sec regression
+    # regardless of which physical host this run landed on.
+    failures = []
+    for name, p in cur.items():
+        if p.get("gated") and p.get("speedup") is not None \
+                and p["speedup"] < 0.90:
+            failures.append(
+                f"{name}: {p['speedup']}x vs the in-binary previous "
+                f"implementation (>10% regression)")
+    if failures:
+        print("\nREGRESSIONS:")
+        for f_ in failures:
+            print(f"  {f_}")
+        sys.exit(1)
+    print("\ngate: no gated pair >10% slower than its in-binary baseline")
 EOF

@@ -144,7 +144,7 @@ double Nimbus::competitive_mode_rate(sim::CcContext& ctx) const {
 }
 
 void Nimbus::record_rate(TimeNs now, double rate) {
-  rate_history_.emplace_back(now, rate);
+  rate_history_.push_back({now, rate});
   const TimeNs horizon =
       from_sec(cfg_.fft_duration_sec) + from_sec(1);
   while (!rate_history_.empty() &&
@@ -156,7 +156,8 @@ void Nimbus::record_rate(TimeNs now, double rate) {
 double Nimbus::rate_at(TimeNs when) const {
   if (rate_history_.empty()) return base_rate_bps_;
   double best = rate_history_.front().second;
-  for (const auto& [t, r] : rate_history_) {
+  for (std::size_t i = 0; i < rate_history_.size(); ++i) {
+    const auto& [t, r] = rate_history_[i];
     if (t > when) break;
     best = r;
   }

@@ -26,10 +26,10 @@
 // fixed probability.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "cc/cubic.h"
 #include "cc/copa.h"
@@ -41,6 +41,7 @@
 #include "core/pulse.h"
 #include "sim/cc_interface.h"
 #include "util/ewma.h"
+#include "util/ring_deque.h"
 
 namespace nimbus::core {
 
@@ -190,7 +191,9 @@ class Nimbus final : public sim::CcAlgorithm {
   util::TimeEwma srtt_filter_{0.5};
   double srtt_smooth_s_ = 0.05;
 
-  std::deque<std::pair<TimeNs, double>> rate_history_;
+  // Per-report rate log for the section 4.1 rate reset (~6 s of history at
+  // the report cadence); a ring so steady-state recording never allocates.
+  util::RingDeque<std::pair<TimeNs, double>> rate_history_;
   double base_rate_bps_ = 0.0;
   double last_eta_ = 0.0;      // smoothed
   double last_raw_eta_ = 0.0;

@@ -21,9 +21,25 @@ std::uint32_t EventLoop::acquire_slot(TimeNs t) {
   return total_slots_++;
 }
 
+void EventLoop::fire_slot(Slot& slot, std::uint64_t id, TimeNs t) {
+  now_ = t;
+  slot.pending_id = 0;  // a self-cancel inside the callback is a no-op
+  slot.extracted = false;
+  --live_;
+  ++processed_;
+  // In-place invocation: chunked slots have stable addresses, so the
+  // callback may grow the pools or the queue freely while running.  The
+  // slot is not on the free list yet, so nothing can re-occupy it.
+  slot.cb();
+  slot.cb.reset();
+  slot.next_free = free_head_;
+  free_head_ = static_cast<std::uint32_t>(id & kSlotMask);
+}
+
 void EventLoop::release_slot(std::uint32_t s) {
   Slot& slot = slot_ref(s);
   slot.pending_id = 0;
+  slot.extracted = false;
   slot.cb.reset();  // free for inline callables (no destructor work)
   slot.next_free = free_head_;
   free_head_ = s;
@@ -162,7 +178,8 @@ void EventLoop::cancel(EventId id) {
   if (id == 0 || s >= total_slots_) return;
   Slot& slot = slot_ref(s);
   if (slot.pending_id != id) return;  // fired, cancelled, or stale
-  wheel_unlink_if_near(slot, id);
+  // Events sitting in the drain batch are already unlinked from the wheel.
+  if (!slot.extracted) wheel_unlink_if_near(slot, id);
   release_slot(s);
   --live_;
 }
@@ -174,7 +191,11 @@ EventId EventLoop::reschedule(EventId id, TimeNs t) {
                        slot_ref(s).pending_id == id,
                    "reschedule of a fired or cancelled event");
   Slot& slot = slot_ref(s);
-  wheel_unlink_if_near(slot, id);  // far entries become lazy tombstones
+  if (slot.extracted) {
+    slot.extracted = false;  // batch entry: already off the wheel
+  } else {
+    wheel_unlink_if_near(slot, id);  // far entries become lazy tombstones
+  }
   const EventId nid = make_event_id(s);
   slot.pending_id = nid;
   slot.time = static_cast<std::uint64_t>(t);
@@ -198,15 +219,29 @@ void EventLoop::run_until(TimeNs t_end) {
     }
     pull_far_into_window();
 
-    // Drain bucket `cursor_` in (time, seq) order by repeatedly unlinking
-    // the smallest-key node.  Callbacks may append to this same bucket
-    // (they cannot make anything earlier pending), so re-scan until it is
-    // empty or the next event is past t_end.
+    // Drain bucket `cursor_` in (time, seq) order.  The common case
+    // (distinct deadlines) is exactly the PR 2 path: unlink the
+    // smallest-key node and fire it in place.  When two consecutive
+    // extractions carry the *same* deadline, the bucket holds an
+    // equal-time run — a phase start waking every flow at once — and the
+    // drain switches to batch mode: unlink every remaining entry with
+    // that deadline in one pass and fire them in seq order (ids are
+    // monotone in seq, so sorting ids sorts seqs).  A k-event burst thus
+    // costs two scans plus an O(k log k) sort instead of the k
+    // min-extraction scans (O(k^2)) the per-event path would pay, while
+    // distinct-deadline traffic keeps the per-event path's exact cost.
+    // Callbacks may append to this same bucket (they cannot make anything
+    // earlier pending) with strictly larger seqs, so firing an extracted
+    // run to completion before re-scanning preserves the exact global
+    // (time, seq) order.
     const std::uint64_t b = cursor_ & kWheelMask;
     bool reached_end = false;
+    std::uint64_t last_fired_time = 0;
+    bool have_fired = false;
     while (!stopped_) {
       const std::uint32_t head = bucket_head_[b];
       if (head == kNilNode) break;
+      // Smallest (time, seq) key in the bucket, as a single 128-bit scan.
       std::uint32_t best = head;
       std::uint32_t best_prev = kNilNode;
       unsigned __int128 best_key = node_key(pool_[head]);
@@ -219,33 +254,86 @@ void EventLoop::run_until(TimeNs t_end) {
           best_prev = prev;
         }
       }
-      const auto t = static_cast<TimeNs>(pool_[best].time);
-      if (t > t_end) {
+      const std::uint64_t t_min = pool_[best].time;
+      if (static_cast<TimeNs>(t_min) > t_end) {
         reached_end = true;
         break;
       }
-      const std::uint64_t id = pool_[best].id;
-      if (best_prev == kNilNode) {
-        bucket_head_[b] = pool_[best].next;
-      } else {
-        pool_[best_prev].next = pool_[best].next;
+
+      if (!have_fired || t_min != last_fired_time) {
+        // Distinct-deadline fast path (the PR 2 per-event drain).
+        const std::uint64_t id = pool_[best].id;
+        if (best_prev == kNilNode) {
+          bucket_head_[b] = pool_[best].next;
+        } else {
+          pool_[best_prev].next = pool_[best].next;
+        }
+        pool_[best].next = node_free_;
+        node_free_ = best;
+        --wheel_count_;
+        Slot& slot = slot_ref(static_cast<std::uint32_t>(id & kSlotMask));
+        if (slot.pending_id != id) continue;  // cancelled / rescheduled
+        have_fired = true;
+        last_fired_time = t_min;
+        fire_slot(slot, id, static_cast<TimeNs>(t_min));
+        continue;
       }
-      pool_[best].next = node_free_;
-      node_free_ = best;
-      --wheel_count_;
-      Slot& slot = slot_ref(static_cast<std::uint32_t>(id & kSlotMask));
-      if (slot.pending_id != id) continue;  // cancelled / rescheduled
-      now_ = t;
-      slot.pending_id = 0;  // a self-cancel inside the callback is a no-op
-      --live_;
-      ++processed_;
-      // In-place invocation: chunked slots have stable addresses, so the
-      // callback may grow the pools or the queue freely while running.
-      // The slot is not on the free list yet, so nothing can re-occupy it.
-      slot.cb();
-      slot.cb.reset();
-      slot.next_free = free_head_;
-      free_head_ = static_cast<std::uint32_t>(id & kSlotMask);
+
+      // Same deadline twice in a row: equal-time run detected (its first
+      // event just fired through the fast path above).  Extract the rest.
+      batch_.clear();
+      {
+        // Pass 2: unlink the whole run.  Tombstones (cancelled or
+        // rescheduled ids) are dropped here; live entries are marked
+        // extracted so cancel/reschedule from inside a batch callback
+        // know the wheel no longer holds them.
+        std::uint32_t prev = kNilNode;
+        std::uint32_t cur = bucket_head_[b];
+        while (cur != kNilNode) {
+          const std::uint32_t next = pool_[cur].next;
+          if (pool_[cur].time == t_min) {
+            const std::uint64_t id = pool_[cur].id;
+            if (prev == kNilNode) {
+              bucket_head_[b] = next;
+            } else {
+              pool_[prev].next = next;
+            }
+            pool_[cur].next = node_free_;
+            node_free_ = cur;
+            --wheel_count_;
+            Slot& slot =
+                slot_ref(static_cast<std::uint32_t>(id & kSlotMask));
+            if (slot.pending_id == id) {
+              slot.extracted = true;
+              batch_.push_back(id);
+            }
+          } else {
+            prev = cur;
+          }
+          cur = next;
+        }
+        std::sort(batch_.begin(), batch_.end());
+      }
+
+      for (std::size_t i = 0; i < batch_.size(); ++i) {
+        const std::uint64_t id = batch_[i];
+        Slot& slot = slot_ref(static_cast<std::uint32_t>(id & kSlotMask));
+        if (slot.pending_id != id) continue;  // cancelled mid-batch
+        fire_slot(slot, id, static_cast<TimeNs>(t_min));
+        if (stopped_) {
+          // stop() mid-run: re-link the unfired remainder so it is still
+          // pending for the next run_until call.
+          for (std::size_t j = i + 1; j < batch_.size(); ++j) {
+            const std::uint64_t rid = batch_[j];
+            Slot& rslot =
+                slot_ref(static_cast<std::uint32_t>(rid & kSlotMask));
+            if (rslot.pending_id != rid) continue;
+            rslot.extracted = false;
+            wheel_insert(static_cast<TimeNs>(t_min), rid, cursor_);
+          }
+          break;
+        }
+      }
     }
     if (bucket_head_[b] == kNilNode) {
       occ_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));

@@ -23,10 +23,14 @@
 //    deadlines is branch misprediction, which the wheel sidesteps
 //    entirely.  Far events migrate into the wheel as the window slides.
 //  * Every entry carries one 128-bit key packing (time, seq, slot); seq is
-//    a global monotone counter assigned per schedule call, and buckets are
-//    drained by repeatedly extracting the smallest key, so events fire in
-//    exactly the seed implementation's (time, id) order — same-time events
-//    in FIFO scheduling order, keeping simulation output bit-identical.
+//    a global monotone counter assigned per schedule call, so events fire
+//    in exactly the seed implementation's (time, id) order — same-time
+//    events in FIFO scheduling order, keeping simulation output
+//    bit-identical.  A bucket is drained by unlinking its entire
+//    earliest-time run in one pass and firing it in seq order (one scan +
+//    sort per run, not one scan per event), so a k-event same-time burst —
+//    a phase start waking every flow at once — costs O(k log k) instead of
+//    the O(k^2) repeated min-extraction.
 //  * Timer has a rearm fast path: while armed, re-arming keeps the slot
 //    and the trampoline callback and only re-enqueues the 16-byte entry
 //    (reschedule()), so per-ACK RTO rearming touches no callback storage.
@@ -240,6 +244,10 @@ class EventLoop {
     std::uint64_t pending_id = 0;    // 0 = empty/free
     std::uint64_t time = 0;          // deadline of the pending event
     std::uint32_t next_free = kNoSlot;
+    // True while the event sits in the drain batch (unlinked from its
+    // bucket but not yet fired): cancel/reschedule must not try to unlink
+    // it from the wheel again.
+    bool extracted = false;
   };
 
   Slot& slot_ref(std::uint32_t s) {
@@ -254,6 +262,10 @@ class EventLoop {
 
   std::uint32_t acquire_slot(TimeNs t);
   void release_slot(std::uint32_t s);
+  // Fires a due event in place: advances now_ to `t`, retires the id, and
+  // invokes the callback in its slot (shared by the drain's
+  // distinct-deadline fast path and the equal-time batch loop).
+  void fire_slot(Slot& slot, std::uint64_t id, TimeNs t);
 
   // Wheel entries are 24-byte nodes in a pooled arena, linked into their
   // bucket.  The pool's high-water mark tracks the maximum number of
@@ -280,6 +292,7 @@ class EventLoop {
   void heap_pop_min();
 
   std::vector<Node> pool_;            // wheel-node arena (index-linked)
+  std::vector<std::uint64_t> batch_;  // equal-time drain batch (reused)
   std::uint32_t node_free_ = kNilNode;
   std::array<std::uint32_t, kWheelSize> bucket_head_;  // kNilNode = empty
   std::array<std::uint64_t, kOccWords> occ_{};  // non-empty-bucket bitmap

@@ -35,8 +35,11 @@ TransportFlow* Network::add_flow(TransportFlow::Config cfg,
   auto flow =
       std::make_unique<TransportFlow>(&loop_, link_.get(), cfg, std::move(cc));
   TransportFlow* raw = flow.get();
-  raw->set_rtt_sample_handler([this](FlowId id, TimeNs t, TimeNs rtt) {
-    recorder_.on_rtt_sample(id, t, rtt);
+  // Direct pointer into the recorder's stable per-flow series: the per-ACK
+  // hot path records an RTT sample without any id lookup.
+  util::TimeSeries* rtt_series = recorder_.rtt_series(cfg.id);
+  raw->set_rtt_sample_handler([rtt_series](FlowId, TimeNs t, TimeNs rtt) {
+    rtt_series->add(t, to_ms(rtt));
   });
   raw->set_completion_handler([this, raw](FlowId id, TimeNs when, TimeNs fct) {
     recorder_.on_completion(id, when, fct, raw->config().app_bytes);

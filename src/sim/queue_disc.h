@@ -2,11 +2,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
 
 #include "sim/packet.h"
+#include "util/ring_deque.h"
 #include "util/time.h"
 
 namespace nimbus::sim {
@@ -25,7 +25,10 @@ class QueueDisc {
   bool empty() const { return packets() == 0; }
 };
 
-/// Drop-tail FIFO bounded in bytes.
+/// Drop-tail FIFO bounded in bytes.  Backed by a RingDeque: a std::deque
+/// frees and reallocates a storage block every ~10 packets of steady FIFO
+/// churn, which would break the simulator's steady-state zero-allocation
+/// guarantee (and costs allocator traffic on the busiest per-packet path).
 class DropTailQueue : public QueueDisc {
  public:
   explicit DropTailQueue(std::int64_t capacity_bytes);
@@ -39,7 +42,7 @@ class DropTailQueue : public QueueDisc {
  private:
   std::int64_t capacity_;
   std::int64_t bytes_ = 0;
-  std::deque<Packet> q_;
+  util::RingDeque<Packet> q_;
 };
 
 /// Capacity helper: buffer sized in units of bandwidth-delay product.

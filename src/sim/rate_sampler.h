@@ -7,10 +7,21 @@
 // ACK.  Both rates are measured over the *same* n packets — the property the
 // cross-traffic estimator (Eq. 1) depends on.  n is one window's worth of
 // packets (section 3.4: "our implementation measures S and R over one RTT").
+//
+// rates() is queried on every ACK (Nimbus and BBR both read it through
+// CcContext::send_rate_bps/recv_rate_bps), so the implementation is a
+// power-of-two ring indexed by the global ack count, and each sample
+// carries the running total of acked bytes: n_bytes over any window is one
+// subtraction of two exact integer prefix sums instead of the reference
+// implementation's O(n) re-summation.  The ring doubles until the 16384-
+// sample history cap, after which on_ack overwrites the oldest slot —
+// steady state touches no heap and rates() is O(1).  Results are
+// bit-identical to the deque reference (ReferenceRateSampler below).
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "util/time.h"
 
@@ -34,6 +45,39 @@ class RateSampler {
   /// Convenience: rates over roughly one window (cwnd_bytes / mss packets).
   Rates rates_over_window(double cwnd_bytes, std::uint32_t mss) const;
 
+  std::size_t history_size() const {
+    return next_ < max_history_ ? static_cast<std::size_t>(next_)
+                                : max_history_;
+  }
+  void set_min_packets(std::size_t n) { min_packets_ = n; }
+
+ private:
+  struct Sample {
+    TimeNs sent_at;
+    TimeNs acked_at;
+    std::uint64_t cum_bytes;  // total acked bytes through this sample
+  };
+
+  void grow();
+
+  std::vector<Sample> ring_;  // power-of-two size (or empty before first ack)
+  std::uint64_t mask_ = 0;
+  std::uint64_t next_ = 0;  // global index of the next sample
+  std::uint64_t cum_bytes_ = 0;
+  std::size_t max_history_ = 16384;
+  std::size_t min_packets_ = 5;
+};
+
+/// The PR 2-era deque implementation, kept as the executable specification:
+/// tests assert the ring sampler above returns bit-identical Rates under
+/// randomized workloads, and bench_micro measures the per-ACK O(cwnd)
+/// re-summation it pays.  Not used on any simulation path.
+class ReferenceRateSampler {
+ public:
+  void on_ack(TimeNs sent_at, TimeNs acked_at, std::uint32_t bytes);
+  RateSampler::Rates rates(std::size_t n_packets) const;
+  RateSampler::Rates rates_over_window(double cwnd_bytes,
+                                       std::uint32_t mss) const;
   std::size_t history_size() const { return samples_.size(); }
   void set_min_packets(std::size_t n) { min_packets_ = n; }
 

@@ -33,21 +33,40 @@ void Recorder::expect_duration(TimeNs duration) {
       static_cast<std::size_t>(duration / probe_interval_) + 1);
 }
 
+void Recorder::ensure_flow(FlowId id) {
+  if (id >= delivered_.size()) {
+    delivered_.resize(id + 1);
+    seen_.resize(id + 1, 0);
+    drops_.resize(id + 1, 0);
+  }
+}
+
 void Recorder::on_delivery(const Packet& p, TimeNs dequeue_done) {
+  if (p.flow_id >= delivered_.size()) ensure_flow(p.flow_id);
   delivered_[p.flow_id].add(dequeue_done, p.size_bytes);
-  if (tracked_.count(p.flow_id)) {
-    queue_delay_[p.flow_id].add(dequeue_done,
-                                to_ms(dequeue_done - p.enqueued_at));
+  seen_[p.flow_id] = 1;
+  if (is_tracked(p.flow_id)) {
+    if (p.flow_id >= queue_delay_.size()) queue_delay_.resize(p.flow_id + 1);
+    auto& series = queue_delay_[p.flow_id];
+    if (!series) series = std::make_unique<util::TimeSeries>();
+    series->add(dequeue_done, to_ms(dequeue_done - p.enqueued_at));
   }
 }
 
 void Recorder::on_drop(const Packet& p) {
+  if (p.flow_id >= delivered_.size()) ensure_flow(p.flow_id);
   ++drops_[p.flow_id];
   ++total_drops_;
 }
 
+util::TimeSeries* Recorder::rtt_series(FlowId id) {
+  if (id >= rtt_.size()) rtt_.resize(id + 1);
+  if (!rtt_[id]) rtt_[id] = std::make_unique<util::TimeSeries>();
+  return rtt_[id].get();
+}
+
 void Recorder::on_rtt_sample(FlowId id, TimeNs now, TimeNs rtt) {
-  rtt_[id].add(now, to_ms(rtt));
+  rtt_series(id)->add(now, to_ms(rtt));
 }
 
 void Recorder::on_completion(FlowId id, TimeNs when, TimeNs fct,
@@ -56,8 +75,7 @@ void Recorder::on_completion(FlowId id, TimeNs when, TimeNs fct,
 }
 
 const util::ByteCounter& Recorder::delivered(FlowId id) const {
-  const auto it = delivered_.find(id);
-  return it == delivered_.end() ? kEmptyCounter : it->second;
+  return id < delivered_.size() ? delivered_[id] : kEmptyCounter;
 }
 
 double Recorder::aggregate_rate_bps(const std::vector<FlowId>& ids, TimeNs t0,
@@ -69,18 +87,16 @@ double Recorder::aggregate_rate_bps(const std::vector<FlowId>& ids, TimeNs t0,
 }
 
 const util::TimeSeries& Recorder::queue_delay(FlowId id) const {
-  const auto it = queue_delay_.find(id);
-  return it == queue_delay_.end() ? kEmptySeries : it->second;
+  return id < queue_delay_.size() && queue_delay_[id] ? *queue_delay_[id]
+                                                      : kEmptySeries;
 }
 
 const util::TimeSeries& Recorder::rtt_samples(FlowId id) const {
-  const auto it = rtt_.find(id);
-  return it == rtt_.end() ? kEmptySeries : it->second;
+  return id < rtt_.size() && rtt_[id] ? *rtt_[id] : kEmptySeries;
 }
 
 std::uint64_t Recorder::drops(FlowId id) const {
-  const auto it = drops_.find(id);
-  return it == drops_.end() ? 0 : it->second;
+  return id < drops_.size() ? drops_[id] : 0;
 }
 
 }  // namespace nimbus::sim

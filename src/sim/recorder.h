@@ -1,11 +1,18 @@
 // Experiment measurement: per-flow delivered bytes, RTT samples, per-packet
 // queueing delay for tracked flows, sampled queue state, drops, and flow
 // completion times.
+//
+// Flow ids are small and dense (the Network allocates them sequentially),
+// so all per-flow state is held in flat vectors indexed by FlowId instead
+// of the PR 2-era std::map/std::set — the per-delivery and per-ACK hooks
+// are branch + array-index instead of a tree walk.  RTT series live behind
+// stable unique_ptr cells so Network can hand each TransportFlow's ACK
+// handler a direct TimeSeries pointer (rtt_series()) that survives later
+// flow registrations.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
+#include <memory>
 #include <vector>
 
 #include "sim/packet.h"
@@ -31,7 +38,10 @@ class Recorder {
 
   /// Tracked flows get per-packet queueing-delay series (others only get
   /// byte counters, which are cheap).
-  void track_flow(FlowId id) { tracked_.insert(id); }
+  void track_flow(FlowId id) {
+    if (id >= tracked_.size()) tracked_.resize(id + 1, 0);
+    tracked_[id] = 1;
+  }
 
   // --- hooks called by Network ---
   void on_delivery(const Packet& p, TimeNs dequeue_done);
@@ -39,6 +49,11 @@ class Recorder {
   void on_rtt_sample(FlowId id, TimeNs now, TimeNs rtt);
   void on_completion(FlowId id, TimeNs when, TimeNs fct,
                      std::int64_t flow_bytes);
+
+  /// Stable per-flow RTT series cell (created on first use): Network wires
+  /// each flow's ACK handler to this pointer, so the per-ACK hot path adds
+  /// a sample with zero lookups.
+  util::TimeSeries* rtt_series(FlowId id);
 
   // --- accessors ---
   /// Bytes delivered through the bottleneck, per flow.
@@ -63,20 +78,27 @@ class Recorder {
   };
   const std::vector<Completion>& completions() const { return completions_; }
 
-  bool has_flow(FlowId id) const { return delivered_.count(id) > 0; }
+  bool has_flow(FlowId id) const {
+    return id < delivered_.size() && seen_[id] != 0;
+  }
 
  private:
   void probe_tick();
+  void ensure_flow(FlowId id);
+  bool is_tracked(FlowId id) const {
+    return id < tracked_.size() && tracked_[id] != 0;
+  }
 
   EventLoop* loop_ = nullptr;
   BottleneckLink* link_ = nullptr;
   TimeNs probe_interval_ = 0;
 
-  std::set<FlowId> tracked_;
-  std::map<FlowId, util::ByteCounter> delivered_;
-  std::map<FlowId, util::TimeSeries> queue_delay_;
-  std::map<FlowId, util::TimeSeries> rtt_;
-  std::map<FlowId, std::uint64_t> drops_;
+  std::vector<char> tracked_;                 // indexed by FlowId
+  std::vector<char> seen_;                    // had a delivery
+  std::vector<util::ByteCounter> delivered_;  // sized together with seen_
+  std::vector<std::uint64_t> drops_;
+  std::vector<std::unique_ptr<util::TimeSeries>> queue_delay_;
+  std::vector<std::unique_ptr<util::TimeSeries>> rtt_;
   std::uint64_t total_drops_ = 0;
   util::TimeSeries probe_qdelay_;
   std::vector<Completion> completions_;

@@ -1,7 +1,6 @@
 #include "sim/transport.h"
 
 #include <algorithm>
-#include <vector>
 
 #include "util/check.h"
 
@@ -131,7 +130,7 @@ void TransportFlow::send_one() {
   p.is_transport = true;
   p.is_retransmit = retransmit;
 
-  outstanding_[seq] = {p.sent_at, retransmit};
+  outstanding_.insert(seq, {p.sent_at, retransmit});
   ++sent_packets_total_;
   if (!rto_timer_.armed()) arm_or_cancel_rto();
   link_->enqueue(p);
@@ -143,13 +142,13 @@ void TransportFlow::on_link_delivery(const Packet& p, TimeNs /*dequeue_done*/) {
   // takes the same reverse path, evaluating it now preserves all orderings.
   if (p.seq == rcv_next_) {
     ++rcv_next_;
-    auto it = out_of_order_.begin();
-    while (it != out_of_order_.end() && *it == rcv_next_) {
+    while (out_of_order_.count() > 0 && out_of_order_.test(rcv_next_)) {
+      out_of_order_.clear(rcv_next_);
       ++rcv_next_;
-      it = out_of_order_.erase(it);
     }
   } else if (p.seq > rcv_next_) {
-    out_of_order_.insert(p.seq);
+    out_of_order_.ensure_span(rcv_next_, p.seq);
+    out_of_order_.set(p.seq);
   }  // p.seq < rcv_next_: duplicate (spurious retransmission), ignore.
 
   Ack ack;
@@ -171,16 +170,11 @@ void TransportFlow::handle_ack(const Ack& ack) {
   rto_backoff_ = 0;
 
   std::uint32_t newly_acked = 0;
-  auto it = outstanding_.find(ack.seq);
-  if (it != outstanding_.end()) {
-    newly_acked += cfg_.mss;
-    outstanding_.erase(it);
-  }
+  if (outstanding_.erase(ack.seq)) newly_acked += cfg_.mss;
   if (ack.cum_valid) {
-    while (!outstanding_.empty() &&
-           outstanding_.begin()->first <= ack.cum_ack) {
+    while (!outstanding_.empty() && outstanding_.lowest() <= ack.cum_ack) {
       newly_acked += cfg_.mss;
-      outstanding_.erase(outstanding_.begin());
+      outstanding_.erase(outstanding_.lowest());
     }
     // Purge queued retransmissions the cumulative ACK has overtaken (can
     // only happen via spurious RTO; cheap safety either way).
@@ -218,6 +212,7 @@ void TransportFlow::handle_ack(const Ack& ack) {
 
 void TransportFlow::detect_losses() {
   if (!any_acked_ || highest_acked_ < kDupThreshold) return;
+  if (outstanding_.empty() || outstanding_.lowest() >= highest_acked_) return;
   const std::uint64_t lost_below = highest_acked_ - kDupThreshold + 1;
   const TimeNs t = loop_->now();
   // RACK-style time guard: never declare a packet lost within ~1 RTT of its
@@ -225,12 +220,15 @@ void TransportFlow::detect_losses() {
   // fresh retransmission.
   const TimeNs min_age = latest_rtt_ - latest_rtt_ / 8;
 
-  std::vector<std::uint64_t> lost;
-  for (auto it = outstanding_.begin();
-       it != outstanding_.end() && it->first < lost_below; ++it) {
-    if (t - it->second.sent_at >= min_age) lost.push_back(it->first);
-  }
-  for (std::uint64_t seq : lost) declare_lost(seq);
+  // Ascending ring scan over the hole region [lowest, lost_below); empty
+  // in the no-loss steady state (the cumulative ACK keeps lowest() at the
+  // frontier), and bounded by the window during recovery.  declare_lost
+  // only erases the sequence it is called with, which for_each_in permits.
+  outstanding_.for_each_in(
+      outstanding_.lowest(), lost_below,
+      [&](std::uint64_t seq, const SentRecord& rec) {
+        if (t - rec.sent_at >= min_age) declare_lost(seq);
+      });
 }
 
 void TransportFlow::declare_lost(std::uint64_t seq) {
@@ -283,18 +281,24 @@ void TransportFlow::on_rto_fired() {
 
   // The whole outstanding window is presumed lost; go-back-N style recovery
   // with the congestion controller reset to one packet by on_rto().
-  std::vector<std::uint64_t> seqs;
-  seqs.reserve(outstanding_.size());
-  for (const auto& [seq, rec] : outstanding_) seqs.push_back(seq);
-  outstanding_.clear();
-  for (std::uint64_t s : seqs) {
-    retx_queue_.push_back(s);
-    ++lost_packets_total_;
-    ++lost_since_report_;
+  retx_scratch_.clear();
+  for (std::size_t i = 0; i < retx_queue_.size(); ++i) {
+    retx_scratch_.push_back(retx_queue_[i]);
   }
-  std::sort(retx_queue_.begin(), retx_queue_.end());
-  retx_queue_.erase(std::unique(retx_queue_.begin(), retx_queue_.end()),
-                    retx_queue_.end());
+  const std::size_t already_queued = retx_scratch_.size();
+  outstanding_.for_each_in(outstanding_.lowest(), outstanding_.upper(),
+                           [&](std::uint64_t seq, const SentRecord&) {
+                             retx_scratch_.push_back(seq);
+                           });
+  outstanding_.clear();
+  lost_packets_total_ += retx_scratch_.size() - already_queued;
+  lost_since_report_ += retx_scratch_.size() - already_queued;
+  std::sort(retx_scratch_.begin(), retx_scratch_.end());
+  retx_scratch_.erase(
+      std::unique(retx_scratch_.begin(), retx_scratch_.end()),
+      retx_scratch_.end());
+  retx_queue_.clear();
+  for (std::uint64_t s : retx_scratch_) retx_queue_.push_back(s);
   loss_event_end_ = snd_nxt_;
 
   cc_->on_rto(*this);

@@ -14,21 +14,32 @@
 // Window flows (pacing disabled) transmit on ACK arrival — the ACK-clocking
 // property the paper's elasticity detector keys on.  Rate-based flows use a
 // pacing timer.
+//
+// Data-path design (PR 3): sequences are dense and monotonic, so all
+// per-packet state is index-addressable instead of node-based.  The
+// sender's outstanding window is a SeqRing (power-of-two ring addressed by
+// seq & mask), the receiver's out-of-order set is a SeqScoreboard bit
+// ring, the retransmit queue is a RingDeque, and the rate sampler keeps
+// running prefix sums — every per-ACK operation is O(1) amortized and the
+// steady-state ACK path performs no heap allocation (tests pin this with
+// an operator-new hook).  All structures grow by doubling and re-placing
+// the live window, so behavior is bit-identical to the PR 2 map/set
+// implementation at any window size.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <limits>
-#include <map>
 #include <memory>
-#include <set>
+#include <vector>
 
 #include "sim/cc_interface.h"
 #include "sim/event_loop.h"
 #include "sim/link.h"
 #include "sim/packet.h"
 #include "sim/rate_sampler.h"
+#include "sim/seq_ring.h"
+#include "util/ring_deque.h"
 #include "util/rng.h"
 
 namespace nimbus::sim {
@@ -150,15 +161,16 @@ class TransportFlow : public CcContext {
   std::uint64_t snd_una_ = 0;    // lowest unacknowledged sequence
   std::uint64_t highest_acked_ = 0;
   bool any_acked_ = false;
-  std::map<std::uint64_t, SentRecord> outstanding_;
-  std::deque<std::uint64_t> retx_queue_;
+  SeqRing<SentRecord> outstanding_;
+  util::RingDeque<std::uint64_t> retx_queue_;
+  std::vector<std::uint64_t> retx_scratch_;  // on_rto sort/dedup staging
   std::uint64_t loss_event_end_ = 0;  // congestion-event dedup boundary
   std::int64_t app_bytes_remaining_ = 0;
   bool backlogged_ = false;
 
   // Receiver state.
   std::uint64_t rcv_next_ = 0;
-  std::set<std::uint64_t> out_of_order_;
+  SeqScoreboard out_of_order_;
 
   // Congestion state surface.
   double cwnd_bytes_ = 0;

@@ -1,12 +1,15 @@
 // Windowed min/max filter over a sliding time window.
 //
 // Used for BBR's max-bandwidth / min-RTT estimators and for Nimbus's
-// bottleneck-rate tracking.  Keeps a monotonic deque of (time, value)
-// samples; query and insert are amortized O(1).
+// bottleneck-rate tracking.  Keeps a monotonic ring of (time, value)
+// samples (RingDeque, so steady-state updates never touch the heap);
+// update, get, and get_unexpired are all amortized O(1).  The front of the
+// ring is always the dominating live sample, so get() only needs to evict
+// the expired prefix — the PR 2-era linear scan over expired samples is
+// gone (expiry work is paid once per sample, not once per query).
 #pragma once
 
-#include <deque>
-
+#include "util/ring_deque.h"
 #include "util/time.h"
 
 namespace nimbus::util {
@@ -24,12 +27,10 @@ class WindowedFilter {
   explicit WindowedFilter(TimeNs window) : window_(window) {}
 
   void update(TimeNs now, double value) {
-    // Drop samples that left the window.
-    while (!samples_.empty() && samples_.front().time + window_ < now) {
-      samples_.pop_front();
-    }
+    evict(now);
     // Drop dominated samples from the back.
-    while (!samples_.empty() && Compare::dominates(value, samples_.back().value)) {
+    while (!samples_.empty() &&
+           Compare::dominates(value, samples_.back().value)) {
       samples_.pop_back();
     }
     samples_.push_back({now, value});
@@ -37,21 +38,12 @@ class WindowedFilter {
 
   bool empty() const { return samples_.empty(); }
 
-  /// Best (max or min) value currently inside the window.
-  double get(TimeNs now) const {
-    double best = 0.0;
-    bool found = false;
-    for (const auto& s : samples_) {
-      if (s.time + window_ < now) continue;
-      if (!found) {
-        best = s.value;
-        found = true;
-      }
-      // Front of the deque is always the dominating sample among the live
-      // ones, so the first live sample is the answer.
-      if (found) return best;
-    }
-    return best;
+  /// Best (max or min) value currently inside the window; 0 if none.
+  /// Lazily evicts samples the window has passed (time must be monotone
+  /// across update()/get() calls, as everywhere in the simulator).
+  double get(TimeNs now) {
+    evict(now);
+    return samples_.empty() ? 0.0 : samples_.front().value;
   }
 
   /// Best value ignoring expiry (latest known best).
@@ -69,8 +61,15 @@ class WindowedFilter {
     TimeNs time;
     double value;
   };
+
+  void evict(TimeNs now) {
+    while (!samples_.empty() && samples_.front().time + window_ < now) {
+      samples_.pop_front();
+    }
+  }
+
   TimeNs window_;
-  std::deque<Sample> samples_;
+  RingDeque<Sample> samples_;
 };
 
 using WindowedMax = WindowedFilter<MaxCompare>;

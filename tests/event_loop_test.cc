@@ -93,6 +93,78 @@ TEST(EventCoreTest, SameTimeFiresInSchedulingOrder) {
   for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
 }
 
+TEST(EventCoreTest, CallbackCanCancelLaterSameTimeEvent) {
+  // The drain extracts the whole equal-time run before firing it; a
+  // callback cancelling a later member of the same run must still win.
+  EventLoop loop;
+  std::vector<int> order;
+  std::vector<EventId> ids(4, 0);
+  ids[1] = loop.schedule(from_ms(5), [&]() {
+    order.push_back(1);
+    loop.cancel(ids[2]);
+  });
+  ids[2] = loop.schedule(from_ms(5), [&order]() { order.push_back(2); });
+  ids[3] = loop.schedule(from_ms(5), [&order]() { order.push_back(3); });
+  loop.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 3);
+  EXPECT_EQ(loop.pending_events(), 0u);
+}
+
+TEST(EventCoreTest, CallbackCanRescheduleLaterSameTimeEvent) {
+  // Rescheduling a later same-time event from inside the run gives it a
+  // fresh FIFO position after everything already queued at that time.
+  EventLoop loop;
+  std::vector<int> order;
+  std::vector<EventId> ids(4, 0);
+  ids[1] = loop.schedule(from_ms(5), [&]() {
+    order.push_back(1);
+    ids[2] = loop.reschedule(ids[2], from_ms(5));  // same time, new position
+  });
+  ids[2] = loop.schedule(from_ms(5), [&order]() { order.push_back(2); });
+  ids[3] = loop.schedule(from_ms(5), [&order]() { order.push_back(3); });
+  loop.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 3);
+  EXPECT_EQ(order[2], 2);
+}
+
+TEST(EventCoreTest, SameTimeScheduleFromCallbackFiresAfterRun) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(from_ms(5), [&]() {
+    order.push_back(1);
+    loop.schedule(from_ms(5), [&order]() { order.push_back(9); });
+  });
+  loop.schedule(from_ms(5), [&order]() { order.push_back(2); });
+  loop.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 9);
+}
+
+TEST(EventCoreTest, StopMidBurstKeepsRemainderPending) {
+  // stop() from inside an equal-time run: the unfired remainder must
+  // survive (re-linked into the wheel) and fire on the next run_until.
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule(from_ms(5), [&loop, &order, i]() {
+      order.push_back(i);
+      if (i == 3) loop.stop();
+    });
+  }
+  loop.run_until(from_sec(1));
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(loop.pending_events(), 6u);
+  loop.run_until(from_sec(1));
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
 TEST(EventCoreTest, CancelledSameTimeEventsAreSkipped) {
   EventLoop loop;
   std::vector<int> order;
@@ -318,6 +390,44 @@ TEST(EventCoreTest, GoldenScenarioBitIdenticalToSeed) {
   EXPECT_EQ(buckets[2], 106.46282495072045);
   EXPECT_EQ(buckets[3], 123.08527478603838);
   EXPECT_EQ(run.mode_log->series().size(), 2000u);
+}
+
+// Multi-flow loss-heavy companion (ISSUE 3): random link loss plus three
+// cross flows exercise the ring transport's SACK holes, retransmissions,
+// and scoreboard growth under contention.  Values captured from the PR 2
+// build (std::map/std::set transport, deque rate sampler, map recorder).
+TEST(EventCoreTest, GoldenLossHeavyScenarioBitIdenticalToPr2) {
+  exp::ScenarioSpec spec;
+  spec.name = "golden-lossy";
+  spec.mu_bps = 48e6;
+  spec.rtt = from_ms(40);
+  spec.buffer_bdp = 0.8;
+  spec.random_loss = 0.003;
+  spec.duration = from_sec(20);
+  spec.protagonist.use_nimbus_config = true;
+  spec.cross.push_back(exp::CrossSpec::flow("cubic", 2));
+  spec.cross.push_back(exp::CrossSpec::flow("reno", 3, from_sec(4)));
+  spec.cross.push_back(exp::CrossSpec::poisson(6e6, 4));
+
+  exp::ScenarioRun run = exp::run_scenario(spec);
+  auto& net = *run.built.net;
+  EXPECT_EQ(net.loop().processed_events(), 160796u);
+  EXPECT_EQ(net.recorder().delivered(1).total(), 41224500);
+  EXPECT_EQ(net.recorder().delivered(2).total(), 22624500);
+  EXPECT_EQ(net.recorder().delivered(3).total(), 15436500);
+  EXPECT_EQ(net.recorder().delivered(4).total(), 15250500);
+  EXPECT_EQ(net.recorder().total_drops(), 736u);
+  EXPECT_EQ(net.recorder().probed_queue_delay().mean_in(0, spec.duration),
+            5.0011255627813904);
+  const auto buckets = net.recorder().rtt_samples(1).bucket_means(
+      0, spec.duration, from_sec(5));
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 53.134155924069844);
+  EXPECT_EQ(buckets[1], 45.74341808185892);
+  EXPECT_EQ(buckets[2], 45.701759984051506);
+  EXPECT_EQ(buckets[3], 40.661947481053737);
+  EXPECT_EQ(run.built.protagonist->lost_packets(), 192u);
+  EXPECT_EQ(run.built.protagonist->rto_count(), 0u);
 }
 
 }  // namespace
