@@ -156,5 +156,5 @@ int main() {
   row("ablation", "rate_reset,without", {without});
   shape_check("ablation_reset", with_reset > 0.5 * without,
               "rate reset never cripples the post-switch throughput");
-  return 0;
+  return shape_exit_code();
 }

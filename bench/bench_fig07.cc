@@ -33,5 +33,5 @@ int main() {
               std::abs(pulse.burst_bytes(mu) -
                        mu * 0.2 / (8 * M_PI) / 8.0) < 1.0,
               "burst bytes match mu*T/(8*pi) bits");
-  return 0;
+  return shape_exit_code();
 }

@@ -82,7 +82,8 @@ Result collect(TimeNs phase_len, exp::ScenarioRun& run) {
     const double fair = fair_share(kPhases[i]);
     r.mean_rate_deficit += std::abs(rate - fair) / fair / 9.0;
     if (kPhases[i].cubic_flows == 0) {
-      r.delay_inelastic_ms += rec.probed_queue_delay().mean_in(a, b);
+      r.delay_inelastic_ms +=
+          rec.probed_queue_delay().mean_in(a, b).value_or(0.0);
       ++n_inel;
     }
   }
@@ -133,5 +134,5 @@ int main() {
               "nimbus delay vs inelastic phases well below cubic's");
   shape_check("fig08", nimbus_deficit < vegas_deficit,
               "nimbus tracks fair share better than vegas");
-  return 0;
+  return shape_exit_code();
 }

@@ -76,5 +76,5 @@ int main() {
               "nimbus median RTT well below cubic");
   shape_check("fig09", veg.rate_mbps.mean() < nim.rate_mbps.mean(),
               "vegas loses throughput relative to nimbus");
-  return 0;
+  return shape_exit_code();
 }

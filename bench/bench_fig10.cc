@@ -62,5 +62,5 @@ int main() {
   row("fig10", "summary_mean_rate_vs_elastic", {means[0], means[1]});
   shape_check("fig10", means[0] > means[1],
               "nimbus sustains more throughput than copa vs elastic flows");
-  return 0;
+  return shape_exit_code();
 }

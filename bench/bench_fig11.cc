@@ -86,5 +86,5 @@ int main() {
   shape_check("fig11",
               p4k["nimbus"].rate_mbps > 0.5 * p4k["cubic"].rate_mbps,
               "4k: nimbus keeps a cubic-like share vs elastic video");
-  return 0;
+  return shape_exit_code();
 }

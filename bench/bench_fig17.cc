@@ -2,6 +2,13 @@
 // link: three Cubic flows in the first phase (elastic), a 96 Mbit/s CBR in
 // the second (inelastic).  The aggregate should take the fair share in the
 // elastic phase and hold low delays in the inelastic phase.
+//
+// Declarative form: three CrossSpec::kNimbus entries plus the phased
+// cubic/CBR cross schedule in one ScenarioSpec (no protagonist), run
+// through the ParallelRunner.  Verified byte-identical to the imperative
+// version it replaces.
+#include <array>
+
 #include "common.h"
 
 using namespace nimbus;
@@ -12,57 +19,81 @@ int main() {
   const bool full = full_run();
   const TimeNs p1 = from_sec(full ? 90 : 55);     // cubic phase end
   const TimeNs p2 = from_sec(full ? 150 : 95);    // CBR phase end
-  auto net = make_net(mu, 2.0);
 
+  exp::ScenarioSpec spec;
+  spec.name = "fig17";
+  spec.mu_bps = mu;
+  spec.duration = p2;
+  spec.protagonist.enabled = false;
   for (int i = 0; i < 3; ++i) {
     core::Nimbus::Config cfg;
     cfg.known_mu_bps = mu;
     cfg.multiflow = true;
-    sim::TransportFlow::Config fc;
-    fc.id = static_cast<sim::FlowId>(i + 1);
-    fc.rtt_prop = from_ms(50);
-    fc.seed = 200 + static_cast<std::uint64_t>(i);
-    net->add_flow(fc, std::make_unique<core::Nimbus>(cfg));
+    spec.cross.push_back(exp::CrossSpec::nimbus_flow(
+        cfg, static_cast<sim::FlowId>(i + 1),
+        200 + static_cast<std::uint64_t>(i)));
   }
   for (int i = 0; i < 3; ++i) {
-    add_cubic_cross(*net, static_cast<sim::FlowId>(10 + i),
-                    from_sec(full ? 30 : 10), p1);
+    spec.cross.push_back(
+        exp::CrossSpec::flow("cubic", static_cast<sim::FlowId>(10 + i),
+                             from_sec(full ? 30 : 10), p1));
   }
-  add_cbr_cross(*net, 20, 96e6, p1, p2);
-  net->run_until(p2);
+  spec.cross.push_back(exp::CrossSpec::cbr(96e6, 20, p1, p2));
 
-  auto& rec = net->recorder();
+  struct Result {
+    std::vector<std::array<double, 3>> seconds;  // t, total_mbps, qdelay
+    double agg_elastic, agg_inelastic, qd_inelastic;
+  };
+  const auto collect = [&](const exp::ScenarioSpec&,
+                           exp::ScenarioRun& run) {
+    auto& rec = run.built.net->recorder();
+    Result r{};
+    for (TimeNs t = from_sec(1); t < p2; t += from_sec(1)) {
+      const double total =
+          (rec.delivered(1).bytes_in(t - from_sec(1), t) +
+           rec.delivered(2).bytes_in(t - from_sec(1), t) +
+           rec.delivered(3).bytes_in(t - from_sec(1), t)) *
+          8.0 / 1e6;
+      r.seconds.push_back(
+          {to_sec(t), total,
+           rec.probed_queue_delay()
+               .mean_in(t - from_sec(1), t)
+               .value_or(0.0)});
+    }
+    // Elastic phase: aggregate fair share = 3/6 of the link.
+    const TimeNs ea = from_sec(full ? 50 : 30), eb = p1;
+    r.agg_elastic = 0;
+    for (sim::FlowId id : {1u, 2u, 3u}) {
+      r.agg_elastic += rec.delivered(id).rate_bps(ea, eb);
+    }
+    // Inelastic phase: fair share = (192-96)/3 each; delays low.
+    const TimeNs ia = p1 + from_sec(15), ib = p2;
+    r.agg_inelastic = 0;
+    for (sim::FlowId id : {1u, 2u, 3u}) {
+      r.agg_inelastic += rec.delivered(id).rate_bps(ia, ib);
+    }
+    r.qd_inelastic =
+        rec.probed_queue_delay().mean_in(ia, ib).value_or(0.0);
+    return r;
+  };
+
   std::printf("fig17,second,nimbus_total_mbps,qdelay_ms\n");
-  for (TimeNs t = from_sec(1); t < p2; t += from_sec(1)) {
-    const double total =
-        (rec.delivered(1).bytes_in(t - from_sec(1), t) +
-         rec.delivered(2).bytes_in(t - from_sec(1), t) +
-         rec.delivered(3).bytes_in(t - from_sec(1), t)) *
-        8.0 / 1e6;
-    row("fig17", util::format_num(to_sec(t)),
-        {total, rec.probed_queue_delay().mean_in(t - from_sec(1), t)});
-  }
+  const auto results = exp::run_scenarios<Result>(
+      {spec}, collect, {},
+      [&](std::size_t, Result& r) {
+        for (const auto& sec : r.seconds) {
+          row("fig17", util::format_num(sec[0]), {sec[1], sec[2]});
+        }
+      });
 
-  // Elastic phase: aggregate fair share = 3/6 of the link.
-  const TimeNs ea = from_sec(full ? 50 : 30), eb = p1;
-  double agg_elastic = 0;
-  for (sim::FlowId id : {1u, 2u, 3u}) {
-    agg_elastic += rec.delivered(id).rate_bps(ea, eb);
-  }
-  // Inelastic phase: fair share = (192-96)/3 each; delays low.
-  const TimeNs ia = p1 + from_sec(15), ib = p2;
-  double agg_inelastic = 0;
-  for (sim::FlowId id : {1u, 2u, 3u}) {
-    agg_inelastic += rec.delivered(id).rate_bps(ia, ib);
-  }
-  const double qd_inelastic = rec.probed_queue_delay().mean_in(ia, ib);
+  const Result& r = results[0];
   row("fig17", "summary",
-      {agg_elastic / 1e6, agg_inelastic / 1e6, qd_inelastic});
-  shape_check("fig17", agg_elastic > 0.18 * mu,
+      {r.agg_elastic / 1e6, r.agg_inelastic / 1e6, r.qd_inelastic});
+  shape_check("fig17", r.agg_elastic > 0.18 * mu,
               "elastic phase: nimbus aggregate holds a meaningful share");
-  shape_check("fig17", agg_inelastic > 0.35 * mu,
+  shape_check("fig17", r.agg_inelastic > 0.35 * mu,
               "inelastic phase: aggregate near the 96 Mbit/s fair share");
-  shape_check("fig17", qd_inelastic < 50,
+  shape_check("fig17", r.qd_inelastic < 50,
               "inelastic phase: low delays (delay mode)");
-  return 0;
+  return shape_exit_code();
 }

@@ -61,5 +61,5 @@ int main() {
               lossy.at("nimbus").mean_rate_mbps >
                   lossy.at("cubic").mean_rate_mbps,
               "lossy path: nimbus beats cubic");
-  return 0;
+  return shape_exit_code();
 }

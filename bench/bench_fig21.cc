@@ -2,9 +2,14 @@
 // size bucket, per protagonist scheme, normalized to Nimbus.  BBR inflates
 // cross-flow FCTs at all sizes; Cubic hurts short flows; Vegas is gentlest
 // but sacrifices its own rate.
-#include "common.h"
-
+//
+// Declarative form: one ScenarioSpec per scheme (workload in the spec),
+// batched through the ParallelRunner; the per-bucket p95 map is reduced
+// from the recorder's completions on the worker.  Verified byte-identical
+// to the imperative version it replaces.
 #include <map>
+
+#include "common.h"
 
 using namespace nimbus;
 using namespace nimbus::bench;
@@ -19,19 +24,22 @@ const char* bucket_name(std::int64_t bytes) {
   return "150MB";
 }
 
-std::map<std::string, double> run(const std::string& scheme,
-                                  TimeNs duration) {
-  const double mu = 96e6;
-  auto net = make_net(mu, 2.0);
-  add_protagonist(*net, scheme, mu);
-  traffic::FlowWorkload::Config wc;
-  wc.offered_load_fraction = 0.5;
-  wc.seed = 2024;
-  traffic::FlowWorkload wl(net.get(), wc);
-  net->run_until(duration);
+exp::ScenarioSpec make_spec(const std::string& scheme, TimeNs duration) {
+  exp::ScenarioSpec spec;
+  spec.name = "fig21/" + scheme;
+  spec.mu_bps = 96e6;
+  spec.duration = duration;
+  spec.protagonist.scheme = scheme;
+  spec.workload_enabled = true;
+  spec.workload.offered_load_fraction = 0.5;
+  spec.workload.seed = 2024;
+  return spec;
+}
 
+std::map<std::string, double> collect(const exp::ScenarioSpec&,
+                                      exp::ScenarioRun& run) {
   std::map<std::string, util::Percentiles> byBucket;
-  for (const auto& c : net->recorder().completions()) {
+  for (const auto& c : run.built.net->recorder().completions()) {
     byBucket[bucket_name(c.bytes)].add(to_sec(c.fct));
   }
   std::map<std::string, double> p95;
@@ -51,8 +59,15 @@ int main() {
                                             "vegas", "copa"}
                  : std::vector<std::string>{"nimbus", "cubic", "bbr",
                                             "vegas"};
+  std::vector<exp::ScenarioSpec> specs;
+  for (const auto& s : schemes) specs.push_back(make_spec(s, duration));
+
+  const auto per_scheme =
+      exp::run_scenarios<std::map<std::string, double>>(specs, collect);
   std::map<std::string, std::map<std::string, double>> all;
-  for (const auto& s : schemes) all[s] = run(s, duration);
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    all[schemes[i]] = per_scheme[i];
+  }
 
   bool bbr_worse_somewhere = false;
   bool nimbus_not_worst_short = true;
@@ -77,5 +92,5 @@ int main() {
               "BBR inflates cross-flow FCTs relative to nimbus");
   shape_check("fig21", nimbus_not_worst_short,
               "nimbus does not hurt short cross-flows more than cubic");
-  return 0;
+  return shape_exit_code();
 }

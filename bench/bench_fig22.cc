@@ -2,6 +2,10 @@
 // a 96 Mbit/s link with buffers from 0.5 to 4 BDP.  Nimbus's throughput
 // tracks Cubic's at every buffer size (it never does *worse* than the
 // status quo against BBR's known unfairness).
+//
+// Declarative form: one ScenarioSpec per (scheme, buffer) cell batched
+// through the ParallelRunner.  Verified byte-identical to the imperative
+// version it replaces.
 #include "common.h"
 
 using namespace nimbus;
@@ -9,18 +13,18 @@ using namespace nimbus::bench;
 
 namespace {
 
-double run(const std::string& scheme, double buf_bdp, TimeNs duration) {
-  const double mu = 96e6;
-  auto net = make_net(mu, buf_bdp);
-  add_protagonist(*net, scheme, mu);
-  sim::TransportFlow::Config fb;
-  fb.id = 2;
-  fb.rtt_prop = from_ms(50);
-  fb.seed = 8;
-  net->add_flow(fb, exp::make_scheme("bbr"));
-  net->run_until(duration);
-  return net->recorder().delivered(1).rate_bps(from_sec(20), duration) /
-         1e6;
+exp::ScenarioSpec make_spec(const std::string& scheme, double buf_bdp,
+                            TimeNs duration) {
+  exp::ScenarioSpec spec;
+  spec.name = "fig22/" + scheme;
+  spec.mu_bps = 96e6;
+  spec.buffer_bdp = buf_bdp;
+  spec.duration = duration;
+  spec.protagonist.scheme = scheme;
+  exp::CrossSpec bbr = exp::CrossSpec::flow("bbr", 2);
+  bbr.seed = 8;
+  spec.cross.push_back(bbr);
+  return spec;
 }
 
 }  // namespace
@@ -28,18 +32,37 @@ double run(const std::string& scheme, double buf_bdp, TimeNs duration) {
 int main() {
   const TimeNs duration = dur(120, 45);
   std::printf("fig22,buffer_bdp,nimbus_mbps,cubic_mbps\n");
-  bool tracks = true;
-  for (double bdp : {0.5, 1.0, 2.0, 4.0}) {
-    const double nim = run("nimbus", bdp, duration);
-    const double cub = run("cubic", bdp, duration);
-    row("fig22", util::format_num(bdp), {nim, cub});
-    // "Same throughput as Cubic" within a 2.5x band in either direction.
-    // Claimed strictly for buffers up to 2 BDP; at 4 BDP our
-    // rate-converted competitive mode lags plain Cubic against BBR (see
-    // EXPERIMENTS.md).
-    if (bdp <= 2.0 && nim < cub / 2.5 - 2.0) tracks = false;
+  const std::vector<double> bdps = {0.5, 1.0, 2.0, 4.0};
+  std::vector<exp::ScenarioSpec> specs;
+  for (double bdp : bdps) {
+    specs.push_back(make_spec("nimbus", bdp, duration));
+    specs.push_back(make_spec("cubic", bdp, duration));
   }
+
+  bool tracks = true;
+  double nim_pending = 0;
+  exp::run_scenarios<double>(
+      specs,
+      [](const exp::ScenarioSpec& spec, exp::ScenarioRun& run) {
+        return run.built.net->recorder().delivered(1).rate_bps(
+                   from_sec(20), spec.duration) /
+               1e6;
+      },
+      {},
+      [&](std::size_t i, double& rate) {
+        if (i % 2 == 0) {
+          nim_pending = rate;
+          return;
+        }
+        const double bdp = bdps[i / 2];
+        row("fig22", util::format_num(bdp), {nim_pending, rate});
+        // "Same throughput as Cubic" within a 2.5x band in either
+        // direction.  Claimed strictly for buffers up to 2 BDP; at 4 BDP
+        // our rate-converted competitive mode lags plain Cubic against
+        // BBR (see EXPERIMENTS.md).
+        if (bdp <= 2.0 && nim_pending < rate / 2.5 - 2.0) tracks = false;
+      });
   shape_check("fig22", tracks,
               "nimbus's share vs BBR tracks cubic's (buffers <= 2 BDP)");
-  return 0;
+  return shape_exit_code();
 }

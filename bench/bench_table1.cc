@@ -94,5 +94,5 @@ int main() {
   shape_check("table1", all_strict_ok,
               "ACK-clocked classes read elastic; app-limited/CBR read "
               "inelastic");
-  return 0;
+  return shape_exit_code();
 }

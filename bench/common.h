@@ -1,14 +1,23 @@
 // Shared helpers for the figure/table reproduction benches.
 //
 // Every bench prints CSV-ish rows to stdout (prefix "<figid>,") followed by
-// a SHAPE-CHECK line asserting the qualitative result the paper reports.
+// SHAPE-CHECK lines asserting the qualitative result the paper reports.
 // NIMBUS_BENCH_FULL=1 switches to full-length runs; the default shortens
 // durations/seeds so `for b in build/bench/*; do $b; done` stays tractable.
 //
-// Network assembly lives in the scenario layer (exp/scenario.h): benches
-// either describe experiments declaratively as ScenarioSpecs — batched
-// through the ParallelRunner (exp/runner.h) for multi-core sweeps — or use
-// the imperative builders re-exported below.
+// Network assembly lives exclusively in the scenario layer: benches
+// describe experiments declaratively as ScenarioSpecs (exp/scenario.h) and
+// batch them through the ParallelRunner (exp/runner.h) for multi-core
+// sweeps.  The imperative builders (make_net / add_nimbus / add_*_cross)
+// are no longer re-exported here — exp::build_network is the only way to
+// assemble a network.
+//
+// SHAPE-CHECK exit discipline: shape_check prints PASS/WARN exactly as
+// before (bench stdout is golden-diffed), and every bench returns
+// bench::shape_exit_code() from main.  Under NIMBUS_SHAPE_STRICT=1 any
+// WARN — except those a bench explicitly registers via
+// shape_check_known_warn — makes that exit code 1, so CI catches
+// qualitative regressions instead of scrolling past them.
 #pragma once
 
 #include <cstdio>
@@ -32,16 +41,6 @@
 
 namespace nimbus::bench {
 
-// Subsumed by the scenario layer; re-exported so existing benches keep
-// their call sites (default arguments carry over with the declarations).
-using exp::add_cbr_cross;
-using exp::add_cubic_cross;
-using exp::add_nimbus;
-using exp::add_poisson_cross;
-using exp::add_protagonist;
-using exp::make_net;
-using exp::run_accuracy;
-
 inline bool full_run() {
   const char* env = std::getenv("NIMBUS_BENCH_FULL");
   return env != nullptr && env[0] == '1';
@@ -52,10 +51,50 @@ inline TimeNs dur(double full_sec, double quick_sec) {
   return from_sec(full_run() ? full_sec : quick_sec);
 }
 
-inline void shape_check(const std::string& fig, bool ok,
-                        const std::string& claim) {
+inline bool shape_strict() {
+  const char* env = std::getenv("NIMBUS_SHAPE_STRICT");
+  return env != nullptr && env[0] == '1';
+}
+
+/// WARNs that should fail a strict run (shape_check minus known-warn).
+inline int& shape_warn_count() {
+  static int count = 0;
+  return count;
+}
+
+/// The one SHAPE-CHECK row format: golden-diffed and grepped for
+/// "SHAPE-CHECK,WARN" by scripts/bench_suite.sh.
+inline void print_shape_row(const std::string& fig, bool ok,
+                            const std::string& claim) {
   std::printf("%s,SHAPE-CHECK,%s,%s\n", fig.c_str(), ok ? "PASS" : "WARN",
               claim.c_str());
+}
+
+inline void shape_check(const std::string& fig, bool ok,
+                        const std::string& claim) {
+  print_shape_row(fig, ok, claim);
+  if (!ok) ++shape_warn_count();
+}
+
+/// A shape check whose WARN is understood and accepted (known
+/// reproduction gap, documented at the call site): prints the same
+/// PASS/WARN row but never fails a NIMBUS_SHAPE_STRICT run.  Keep the
+/// justification in a comment next to the call.
+inline void shape_check_known_warn(const std::string& fig, bool ok,
+                                   const std::string& claim) {
+  print_shape_row(fig, ok, claim);
+}
+
+/// Process exit code for a finished bench: nonzero iff strict mode is on
+/// and a non-known-warn shape check WARNed.
+inline int shape_exit_code() {
+  if (shape_strict() && shape_warn_count() > 0) {
+    std::fprintf(stderr,
+                 "NIMBUS_SHAPE_STRICT: %d shape check(s) WARNed\n",
+                 shape_warn_count());
+    return 1;
+  }
+  return 0;
 }
 
 inline void row(const std::string& fig, const std::string& label,

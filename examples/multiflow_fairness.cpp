@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
     std::printf("%3d s  %-6s  %-6s  ", t, roles.c_str(), modes.c_str());
     for (double r : rates) std::printf("%5.1f ", r / 1e6);
     std::printf(" %5.1f ms  %.2f\n",
-                net.recorder().probed_queue_delay().mean_in(a, b),
+                net.recorder().probed_queue_delay().mean_in(a, b).value_or(0.0),
                 util::jain_fairness(rates));
   }
   std::printf(

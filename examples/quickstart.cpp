@@ -66,12 +66,12 @@ int main() {
     const double comp = mode_log.fraction_competitive(a, b);
     std::printf(
         "%3d s    %-9s %5.2f  %7.1f Mbps %7.1f Mbps %8.1f ms\n", t,
-        comp > 0.5 ? "compete" : "delay", eta_log.mean_in(a, b),
+        comp > 0.5 ? "compete" : "delay", eta_log.mean_in(a, b).value_or(0.0),
         net.recorder().delivered(1).rate_bps(a, b) / 1e6,
         (net.recorder().delivered(2).rate_bps(a, b) +
          net.recorder().delivered(3).rate_bps(a, b)) /
             1e6,
-        net.recorder().probed_queue_delay().mean_in(a, b));
+        net.recorder().probed_queue_delay().mean_in(a, b).value_or(0.0));
   }
 
   std::printf(

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Perf measurement layer (ISSUE 2, extended in ISSUE 3): runs the
+# Perf measurement layer (ISSUE 2, extended in ISSUE 3/4): runs the
 # event-loop, ACK-path, and end-to-end microbenchmarks and emits a
 # BENCH_*.json snapshot so every later PR can be compared against this one.
 #
@@ -19,7 +19,7 @@
 #               host-independent.  Pairs marked gated are the structural
 #               rewrites, whose speedups dwarf measurement noise; parity
 #               pairs are reported but not gated.)
-#   output      defaults to BENCH_PR3.json in the repo root
+#   output      defaults to BENCH_PR4.json in the repo root
 #
 # The "before" numbers come from the same binary: bench_micro runs every
 # workload against a verbatim copy of the previous implementation
@@ -32,7 +32,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK=0
-OUT=BENCH_PR3.json
+OUT=BENCH_PR4.json
 COMPARE=""
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -109,7 +109,7 @@ cubic = by_name.get("BM_SimulatedSecondCubic")
 scenario = by_name.get("BM_SimulatedSecondScenario")
 
 report = {
-    "pr": 3,
+    "pr": 4,
     "generated_by": "scripts/bench_report.sh"
                     + (" --quick" if os.environ["QUICK"] == "1" else ""),
     "host": micro.get("context", {}),

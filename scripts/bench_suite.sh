@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Runs the full figure/table bench suite in quick mode with
+# NIMBUS_SHAPE_STRICT=1: a bench whose (non-known-warn) SHAPE-CHECK rows
+# WARN exits nonzero, so CI catches qualitative regressions in any figure
+# instead of scrolling past a WARN in the log.  bench_micro (the
+# google-benchmark perf harness) is excluded — scripts/bench_report.sh owns
+# it.
+#
+# Usage: scripts/bench_suite.sh [bench...]   (default: all build/bench/*)
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${BUILD_DIR:-build}"
+if [ $# -gt 0 ]; then
+  BENCHES=("$@")
+else
+  BENCHES=()
+  for b in "$BUILD"/bench/bench_*; do
+    [ -x "$b" ] || continue
+    case "$(basename "$b")" in bench_micro) continue ;; esac
+    BENCHES+=("$b")
+  done
+fi
+
+if [ "${#BENCHES[@]}" = 0 ]; then
+  echo "error: no benches found under $BUILD/bench (build first)" >&2
+  exit 1
+fi
+
+FAILED=()
+for b in "${BENCHES[@]}"; do
+  name=$(basename "$b")
+  start=$(date +%s)
+  out=$(NIMBUS_SHAPE_STRICT=1 "$b" 2>&1)
+  rc=$?
+  secs=$(( $(date +%s) - start ))
+  checks=$(printf '%s\n' "$out" | grep -c "SHAPE-CHECK" || true)
+  warns=$(printf '%s\n' "$out" | grep -c "SHAPE-CHECK,WARN" || true)
+  if [ $rc -ne 0 ]; then
+    echo "FAIL  $name (rc=$rc, ${secs}s, $warns/$checks WARN)"
+    printf '%s\n' "$out" | grep "SHAPE-CHECK,WARN" | sed 's/^/      /'
+    if [ "$warns" = 0 ]; then
+      # Crashed rather than WARNed (e.g. a NIMBUS_CHECK abort): surface
+      # the tail so CI logs carry the diagnostic, not just the exit code.
+      printf '%s\n' "$out" | tail -n 10 | sed 's/^/      | /'
+    fi
+    FAILED+=("$name")
+  else
+    echo "ok    $name (${secs}s, $warns/$checks WARN)"
+  fi
+done
+
+if [ "${#FAILED[@]}" -gt 0 ]; then
+  echo "bench_suite: ${#FAILED[@]} bench(es) failed strict shape checks:" \
+       "${FAILED[*]}"
+  exit 1
+fi
+echo "bench_suite: all ${#BENCHES[@]} benches passed strict shape checks"

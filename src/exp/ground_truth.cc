@@ -49,14 +49,18 @@ double ModeLog::fraction_competitive(TimeNs t0, TimeNs t1) const {
 
 void attach_nimbus_logger(core::Nimbus* nimbus, ModeLog* mode_log,
                           util::TimeSeries* eta_log,
-                          util::TimeSeries* z_log) {
+                          util::TimeSeries* z_log,
+                          util::TimeSeries* eta_raw_log) {
   NIMBUS_CHECK(nimbus != nullptr);
   nimbus->set_status_handler(
-      [mode_log, eta_log, z_log](const core::Nimbus::Status& s) {
+      [mode_log, eta_log, z_log, eta_raw_log](const core::Nimbus::Status& s) {
         if (mode_log) {
           mode_log->add(s.now, s.mode == core::Nimbus::Mode::kCompetitive);
         }
         if (eta_log && s.detector_ready) eta_log->add(s.now, s.eta);
+        if (eta_raw_log && s.detector_ready) {
+          eta_raw_log->add(s.now, s.eta_raw);
+        }
         if (z_log) z_log->add(s.now, s.z_bps);
       });
 }

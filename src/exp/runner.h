@@ -82,18 +82,21 @@ class ParallelRunner {
 /// reduces each finished run to an R via `collect` (called on the worker
 /// thread, with the network still alive), and returns the Rs in spec
 /// order.  `on_result` fires in spec order — benches print CSV rows from
-/// it without interleaving.
+/// it without interleaving.  `setup` (if given) runs per scenario on the
+/// worker thread after assembly and before the event loop starts; it must
+/// only touch the BuiltScenario it is handed (and thread-safe captures).
 template <typename R>
 std::vector<R> run_scenarios(
     const std::vector<ScenarioSpec>& specs,
     const std::function<R(const ScenarioSpec&, ScenarioRun&)>& collect,
     ParallelRunner::Options opts = {},
-    const std::function<void(std::size_t, R&)>& on_result = nullptr) {
+    const std::function<void(std::size_t, R&)>& on_result = nullptr,
+    const ScenarioSetup& setup = nullptr) {
   ParallelRunner runner(opts);
   return runner.map<R>(
       specs.size(),
       [&](std::size_t i) {
-        ScenarioRun run = run_scenario(specs[i]);
+        ScenarioRun run = run_scenario(specs[i], setup);
         return collect(specs[i], run);
       },
       on_result);

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "cc/const_window.h"
+#include "cc/copa.h"
 #include "cc/cubic.h"
 #include "exp/schemes.h"
 #include "sim/pie.h"
@@ -136,6 +137,19 @@ CrossSpec CrossSpec::cbr(double rate_bps, sim::FlowId id, TimeNs start,
   return c;
 }
 
+CrossSpec CrossSpec::nimbus_flow(const core::Nimbus::Config& cfg,
+                                 sim::FlowId id, std::uint64_t seed,
+                                 TimeNs start, TimeNs stop) {
+  CrossSpec c;
+  c.kind = Kind::kNimbus;
+  c.nimbus = cfg;
+  c.id = id;
+  c.seed = seed;
+  c.start = start;
+  c.stop = stop;
+  return c;
+}
+
 traffic::FlowWorkload::Config unseeded_workload_config() {
   traffic::FlowWorkload::Config wc;
   wc.seed = 0;
@@ -216,7 +230,8 @@ std::uint64_t derived_seed_with_id(std::uint64_t base, std::uint64_t legacy,
 }
 
 void add_cross_entry(const ScenarioSpec& spec, const CrossSpec& c,
-                     sim::Network& net) {
+                     BuiltScenario& out) {
+  sim::Network& net = *out.net;
   for (int k = 0; k < c.count; ++k) {
     const auto resolve_id = [&]() -> sim::FlowId {
       return c.id != 0 ? c.id + k : net.next_flow_id();
@@ -286,6 +301,25 @@ void add_cross_entry(const ScenarioSpec& spec, const CrossSpec& c,
         net.add_source(std::make_unique<traffic::VideoSource>(&net, vc));
         break;
       }
+      case CrossSpec::Kind::kNimbus: {
+        const sim::FlowId id = resolve_id();
+        auto algo = std::make_unique<core::Nimbus>(c.nimbus);
+        out.nimbus_cross.push_back(algo.get());
+        sim::TransportFlow::Config fc;
+        fc.id = id;
+        fc.rtt_prop = rtt;
+        fc.start_time = c.start;
+        fc.stop_time = c.stop;
+        // Id-salted like the other flow kinds (the add_nimbus id*7+1
+        // family) — an id-free default would hand every unseeded replica
+        // the same RNG stream, correlating exactly the flows the
+        // multi-flow experiments measure.  (A new kind, so there is no
+        // historical unseeded output to preserve.)
+        fc.seed = c.seed != 0 ? c.seed + k
+                              : flow_seed(spec.seed, id * 7 + 1);
+        net.add_flow(fc, std::move(algo));
+        break;
+      }
     }
   }
 }
@@ -296,7 +330,7 @@ BuiltScenario build_network(const ScenarioSpec& spec) {
   BuiltScenario out;
   out.net = make_bottleneck(spec);
   add_protagonist_from_spec(spec, out);
-  for (const CrossSpec& c : spec.cross) add_cross_entry(spec, c, *out.net);
+  for (const CrossSpec& c : spec.cross) add_cross_entry(spec, c, out);
   if (spec.workload_enabled) {
     traffic::FlowWorkload::Config wc = spec.workload;
     if (wc.seed == 0) wc.seed = flow_seed(spec.seed, /*legacy=*/1234);
@@ -305,13 +339,31 @@ BuiltScenario build_network(const ScenarioSpec& spec) {
   return out;
 }
 
-ScenarioRun run_scenario(const ScenarioSpec& spec) {
+ScenarioRun run_scenario(const ScenarioSpec& spec,
+                         const ScenarioSetup& setup) {
   ScenarioRun run;
   run.built = build_network(spec);
+  if (spec.log_copa_mode) {
+    NIMBUS_CHECK_MSG(run.built.protagonist != nullptr,
+                     "log_copa_mode needs a protagonist flow");
+    const auto* copa =
+        dynamic_cast<const cc::Copa*>(&run.built.protagonist->cc());
+    NIMBUS_CHECK_MSG(copa != nullptr,
+                     "log_copa_mode needs a Copa protagonist");
+    run.mode_log = std::make_unique<ModeLog>();
+    attach_copa_poller(run.built.net.get(), copa, run.mode_log.get(),
+                       spec.copa_poll_interval);
+  }
   if (run.built.nimbus != nullptr) {
     run.mode_log = std::make_unique<ModeLog>();
-    attach_nimbus_logger(run.built.nimbus, run.mode_log.get());
+    run.eta_log = std::make_unique<util::TimeSeries>();
+    run.eta_raw_log = std::make_unique<util::TimeSeries>();
+    run.z_log = std::make_unique<util::TimeSeries>();
+    attach_nimbus_logger(run.built.nimbus, run.mode_log.get(),
+                         run.eta_log.get(), run.z_log.get(),
+                         run.eta_raw_log.get());
   }
+  if (setup) setup(spec, run.built);
   run.built.net->run_until(spec.duration);
   return run;
 }
@@ -323,6 +375,20 @@ ScenarioRun run_scenario(const ScenarioSpec& spec) {
 bool accuracy_cross_is_elastic(const std::string& cross_kind) {
   return cross_kind == "newreno" || cross_kind == "cubic" ||
          cross_kind == "mix";
+}
+
+bool spec_cross_is_elastic(const ScenarioSpec& spec) {
+  for (const CrossSpec& c : spec.cross) {
+    NIMBUS_CHECK_MSG(c.kind != CrossSpec::Kind::kVideo,
+                     "video cross elasticity depends on bitrate vs "
+                     "capacity; pass the ground truth explicitly");
+    if (c.kind == CrossSpec::Kind::kScheme ||
+        c.kind == CrossSpec::Kind::kNimbus ||
+        c.kind == CrossSpec::Kind::kConstWindow) {
+      return true;
+    }
+  }
+  return false;
 }
 
 ScenarioSpec accuracy_scenario(const std::string& cross_kind, double mu,
@@ -368,6 +434,10 @@ double score_accuracy(const ScenarioRun& run, const ScenarioSpec& spec,
   truth.add_interval(0, spec.duration, elastic_truth);
   // Skip warmup: one FFT window plus smoothing.
   return run.mode_log->accuracy(truth, from_sec(10), spec.duration);
+}
+
+double score_accuracy(const ScenarioRun& run, const ScenarioSpec& spec) {
+  return score_accuracy(run, spec, spec_cross_is_elastic(spec));
 }
 
 double run_accuracy(const std::string& cross_kind, double mu,

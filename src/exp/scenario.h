@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <string>
@@ -95,6 +96,9 @@ struct CrossSpec {
     kPoisson,      // Poisson packet source at rate_bps
     kCbr,          // constant-bit-rate source at rate_bps
     kVideo,        // DASH-style video client at rate_bps
+    kNimbus,       // additional Nimbus flow built from `nimbus` (the
+                   // multi-flow experiments; pointer lands in
+                   // BuiltScenario::nimbus_cross)
   };
 
   Kind kind = Kind::kScheme;
@@ -103,6 +107,7 @@ struct CrossSpec {
   std::string scheme = "cubic";
   double rate_bps = 0.0;       // kPoisson / kCbr / kVideo bitrate
   int window_pkts = 400;       // kConstWindow
+  core::Nimbus::Config nimbus; // kNimbus
   TimeNs start = 0;
   TimeNs stop = kNever;
   TimeNs rtt = 0;              // 0 = scenario RTT
@@ -117,6 +122,9 @@ struct CrossSpec {
                            TimeNs stop = kNever);
   static CrossSpec cbr(double rate_bps, sim::FlowId id, TimeNs start = 0,
                        TimeNs stop = kNever);
+  static CrossSpec nimbus_flow(const core::Nimbus::Config& cfg,
+                               sim::FlowId id, std::uint64_t seed,
+                               TimeNs start = 0, TimeNs stop = kNever);
 };
 
 /// The protagonist (measured) flow.
@@ -176,6 +184,14 @@ struct ScenarioSpec {
   TimeNs duration = from_sec(60);
   std::uint64_t seed = kDefaultBaseSeed;
 
+  /// When the protagonist is a Copa flow, poll its mode into
+  /// ScenarioRun::mode_log every copa_poll_interval (the Fig. 14/23
+  /// comparisons score Copa's classifier).  Off by default: the poller
+  /// schedules events, and scenarios that don't need it should not pay
+  /// for — or have their event stream reshaped by — the extra ticks.
+  bool log_copa_mode = false;
+  TimeNs copa_poll_interval = from_ms(10);
+
   /// Returns a copy with `seed` replaced (sweep convenience).
   ScenarioSpec with_seed(std::uint64_t s) const;
 };
@@ -185,6 +201,9 @@ struct BuiltScenario {
   std::unique_ptr<sim::Network> net;
   sim::TransportFlow* protagonist = nullptr;  // null if no protagonist
   core::Nimbus* nimbus = nullptr;  // null unless the protagonist is a Nimbus
+  /// kNimbus cross entries, in spec order (multi-flow experiments probe
+  /// roles/modes across all flows).
+  std::vector<core::Nimbus*> nimbus_cross;
   std::unique_ptr<traffic::FlowWorkload> workload;  // null unless enabled
 
   sim::Network& network() { return *net; }
@@ -193,15 +212,27 @@ struct BuiltScenario {
 /// Assembles a ready-to-run network from the spec (does not run it).
 BuiltScenario build_network(const ScenarioSpec& spec);
 
-/// A completed scenario run.  The mode log is populated (and non-null) when
-/// the protagonist is a Nimbus flow.
+/// A completed scenario run.  The logs are populated (and non-null) when
+/// the protagonist is a Nimbus flow — mode decisions, smoothed eta and raw
+/// single-window eta (both gated on detector_ready), and the ungated
+/// cross-traffic estimate z(t).  With spec.log_copa_mode, mode_log instead
+/// records the Copa protagonist's polled mode.
 struct ScenarioRun {
   BuiltScenario built;
   std::unique_ptr<ModeLog> mode_log;
+  std::unique_ptr<util::TimeSeries> eta_log;
+  std::unique_ptr<util::TimeSeries> eta_raw_log;
+  std::unique_ptr<util::TimeSeries> z_log;
 };
 
-/// build_network + attach a Nimbus mode log + run_until(spec.duration).
-ScenarioRun run_scenario(const ScenarioSpec& spec);
+/// Pre-run hook: runs after the network is assembled and the standard logs
+/// are attached, before the event loop starts.  Benches use it to schedule
+/// custom probes (e.g. sampling Nimbus roles mid-run).
+using ScenarioSetup = std::function<void(const ScenarioSpec&, BuiltScenario&)>;
+
+/// build_network + attach logs + run_until(spec.duration).
+ScenarioRun run_scenario(const ScenarioSpec& spec,
+                         const ScenarioSetup& setup = nullptr);
 
 // ---------------------------------------------------------------------------
 // Canned experiments.
@@ -230,7 +261,18 @@ ScenarioSpec accuracy_scenario(const std::string& cross_kind, double mu,
 double score_accuracy(const ScenarioRun& run, const ScenarioSpec& spec,
                       bool elastic_truth);
 
+/// Scores with the ground truth derived from the spec itself via
+/// spec_cross_is_elastic — the common case for accuracy grids.
+double score_accuracy(const ScenarioRun& run, const ScenarioSpec& spec);
+
 /// True if `cross_kind` adds elastic cross traffic in accuracy_scenario.
 bool accuracy_cross_is_elastic(const std::string& cross_kind);
+
+/// True if the spec's cross schedule contains elastic (ACK-clocked) cross
+/// traffic: scheme, Nimbus, or fixed-window flows.  Raw sources (Poisson/
+/// CBR) are inelastic.  Video clients are not classified here — they can
+/// be either depending on bitrate vs capacity (Fig. 11), so specs mixing
+/// video with accuracy scoring must pass the truth explicitly.
+bool spec_cross_is_elastic(const ScenarioSpec& spec);
 
 }  // namespace nimbus::exp

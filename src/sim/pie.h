@@ -10,9 +10,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
 #include "sim/queue_disc.h"
+#include "util/ring_deque.h"
 #include "util/rng.h"
 
 namespace nimbus::sim {
@@ -44,7 +44,9 @@ class PieQueue : public QueueDisc {
   void maybe_update(TimeNs now);
 
   Config cfg_;
-  std::deque<Packet> q_;
+  // Ring buffer, not std::deque: the FIFO's steady-state churn must not
+  // touch the heap (the DropTail queue made the same move in PR 3).
+  util::RingDeque<Packet> q_;
   std::int64_t bytes_ = 0;
   double drop_prob_ = 0.0;
   TimeNs last_update_ = 0;

@@ -54,7 +54,7 @@ double Percentiles::percentile(double p) const {
 }
 
 double Percentiles::mean() const {
-  if (samples_.empty()) return 0.0;
+  NIMBUS_CHECK(!samples_.empty());
   double s = 0.0;
   for (double x : samples_) s += x;
   return s / static_cast<double>(samples_.size());

@@ -40,6 +40,9 @@ class Percentiles {
   bool empty() const { return samples_.empty(); }
 
   /// p in [0, 1]; linear interpolation between order statistics.
+  /// CHECK-fails on an empty collection, as does mean(): query emptiness
+  /// with empty()/count() first.  (Pre-PR-4, mean() silently returned 0.0
+  /// on empty while percentile() CHECK-failed — one contract now.)
   double percentile(double p) const;
   double median() const { return percentile(0.5); }
   double mean() const;

@@ -23,10 +23,10 @@ TimeNs TimeSeries::last_time() const {
   return times_.back();
 }
 
-double TimeSeries::mean_in(TimeNs t0, TimeNs t1) const {
+std::optional<double> TimeSeries::mean_in(TimeNs t0, TimeNs t1) const {
   const auto lo = std::lower_bound(times_.begin(), times_.end(), t0);
   const auto hi = std::lower_bound(times_.begin(), times_.end(), t1);
-  if (lo == hi) return 0.0;
+  if (lo == hi) return std::nullopt;
   double sum = 0.0;
   for (auto it = lo; it != hi; ++it) {
     sum += values_[static_cast<std::size_t>(it - times_.begin())];

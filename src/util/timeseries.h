@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "util/time.h"
@@ -29,8 +30,11 @@ class TimeSeries {
   TimeNs first_time() const;
   TimeNs last_time() const;
 
-  /// Mean of samples with t in [t0, t1); 0 if none.
-  double mean_in(TimeNs t0, TimeNs t1) const;
+  /// Mean of samples with t in [t0, t1); nullopt if the window holds no
+  /// samples.  (The pre-PR-4 contract returned 0.0 for an empty window,
+  /// indistinguishable from a real zero mean — callers that want that
+  /// behaviour say `.value_or(0.0)` explicitly.)
+  std::optional<double> mean_in(TimeNs t0, TimeNs t1) const;
 
   /// Resamples onto a uniform grid of `n` points spanning [t0, t0+n*dt) by
   /// zero-order hold (last sample at or before each grid point; the first

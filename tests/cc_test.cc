@@ -132,7 +132,7 @@ SoloResult run_solo(const std::string& scheme, double mu = 48e6,
   r.rate_mbps =
       net.recorder().delivered(1).rate_bps(from_sec(10), dur) / 1e6;
   r.mean_qdelay_ms =
-      net.recorder().probed_queue_delay().mean_in(from_sec(10), dur);
+      net.recorder().probed_queue_delay().mean_in(from_sec(10), dur).value();
   r.util = net.link().utilization();
   return r;
 }
@@ -259,7 +259,8 @@ TEST(CopaModeTest, DefaultModeAgainstLightCbr) {
   net.run_until(from_sec(30));
   EXPECT_FALSE(cptr->in_competitive_mode());
   EXPECT_LT(net.recorder().probed_queue_delay().mean_in(from_sec(10),
-                                                        from_sec(30)),
+                                                        from_sec(30))
+                .value(),
             30.0);
 }
 

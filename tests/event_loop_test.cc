@@ -380,7 +380,7 @@ TEST(EventCoreTest, GoldenScenarioBitIdenticalToSeed) {
   EXPECT_EQ(net.recorder().total_drops(), 1339u);
   const auto& q = net.recorder().probed_queue_delay();
   EXPECT_EQ(q.size(), 2000u);
-  EXPECT_EQ(q.mean_in(0, spec.duration), 55.012256128064031);
+  EXPECT_EQ(q.mean_in(0, spec.duration).value(), 55.012256128064031);
   const auto buckets =
       net.recorder().rtt_samples(1).bucket_means(0, spec.duration,
                                                  from_sec(5));
@@ -417,8 +417,9 @@ TEST(EventCoreTest, GoldenLossHeavyScenarioBitIdenticalToPr2) {
   EXPECT_EQ(net.recorder().delivered(3).total(), 15436500);
   EXPECT_EQ(net.recorder().delivered(4).total(), 15250500);
   EXPECT_EQ(net.recorder().total_drops(), 736u);
-  EXPECT_EQ(net.recorder().probed_queue_delay().mean_in(0, spec.duration),
-            5.0011255627813904);
+  EXPECT_EQ(
+      net.recorder().probed_queue_delay().mean_in(0, spec.duration).value(),
+      5.0011255627813904);
   const auto buckets = net.recorder().rtt_samples(1).bucket_means(
       0, spec.duration, from_sec(5));
   ASSERT_EQ(buckets.size(), 4u);

@@ -72,7 +72,7 @@ TEST(MultiflowTest, StaysInDelayModeWithoutElasticCross) {
   // Fig. 16 (red patches), transient wrong-mode excursions happen after
   // election races, so bound the average rather than demand perfection.
   const double qd = h.net.recorder().probed_queue_delay().mean_in(
-      from_sec(40), from_sec(90));
+      from_sec(40), from_sec(90)).value();
   EXPECT_LT(qd, 60.0);
   // Delay mode must be reachable and sticky enough to dominate: the mean
   // queue delay across the run stays well below the 100 ms buffer that

@@ -72,7 +72,8 @@ TEST(NimbusTest, SoloStaysInDelayModeWithLowDelay) {
             0.05);
   EXPECT_GT(h.rate_mbps(1, from_sec(10), from_sec(40)), 85.0);
   EXPECT_LT(h.net.recorder().probed_queue_delay().mean_in(from_sec(10),
-                                                          from_sec(40)),
+                                                          from_sec(40))
+                .value(),
             20.0);
 }
 
@@ -85,7 +86,7 @@ TEST(NimbusTest, InelasticCrossKeepsDelayModeAtTarget) {
   // Fair share of the remaining capacity, at the BasicDelay target delay.
   EXPECT_NEAR(h.rate_mbps(1, from_sec(10), from_sec(40)), 47.0, 4.0);
   const double qd = h.net.recorder().probed_queue_delay().mean_in(
-      from_sec(10), from_sec(40));
+      from_sec(10), from_sec(40)).value();
   EXPECT_GT(qd, 5.0);
   EXPECT_LT(qd, 25.0);
 }
@@ -127,7 +128,8 @@ TEST(NimbusTest, RevertsToDelayModeAfterElasticLeaves) {
   EXPECT_LT(h.mode_log.fraction_competitive(from_sec(52), from_sec(70)),
             0.15);
   EXPECT_LT(h.net.recorder().probed_queue_delay().mean_in(from_sec(55),
-                                                          from_sec(70)),
+                                                          from_sec(70))
+                .value(),
             25.0);
 }
 
@@ -139,9 +141,9 @@ TEST(NimbusTest, EtaSeparatesTrafficClasses) {
   inelastic.add_poisson(2, 48e6);
   inelastic.net.run_until(from_sec(40));
   const double eta_e =
-      elastic.eta_log.mean_in(from_sec(10), from_sec(40));
+      elastic.eta_log.mean_in(from_sec(10), from_sec(40)).value();
   const double eta_i =
-      inelastic.eta_log.mean_in(from_sec(10), from_sec(40));
+      inelastic.eta_log.mean_in(from_sec(10), from_sec(40)).value();
   EXPECT_GT(eta_e, 2.0);
   EXPECT_LT(eta_i, 2.0);
 }
@@ -151,7 +153,7 @@ TEST(NimbusTest, CrossRateEstimateTracksTruth) {
   Harness h;
   h.add_poisson(2, 48e6);
   h.net.run_until(from_sec(30));
-  const double z = h.z_log.mean_in(from_sec(10), from_sec(30));
+  const double z = h.z_log.mean_in(from_sec(10), from_sec(30)).value();
   EXPECT_NEAR(z, 48e6, 5e6);
 }
 
@@ -186,7 +188,8 @@ TEST(NimbusTest, DelayAlgoVariantsHoldLowDelayVsInelastic) {
         &net.loop(), &net.link(), pc));
     net.run_until(from_sec(30));
     EXPECT_LT(net.recorder().probed_queue_delay().mean_in(from_sec(10),
-                                                          from_sec(30)),
+                                                          from_sec(30))
+                  .value(),
               40.0)
         << "delay algo " << static_cast<int>(algo);
     EXPECT_GT(net.recorder().delivered(1).rate_bps(from_sec(10),

@@ -181,7 +181,7 @@ TEST_P(PieTargetSweep, DelayNearTarget) {
   net.add_flow(fc, exp::make_scheme("cubic"));
   net.run_until(from_sec(40));
   const double qd = net.recorder().probed_queue_delay().mean_in(
-      from_sec(15), from_sec(40));
+      from_sec(15), from_sec(40)).value();
   // PIE holds a loss-based flow's queueing near the target (within ~3x),
   // versus ~100 ms it would reach in a 4 BDP DropTail.
   EXPECT_LT(qd, 3.0 * target_ms + 10.0);

@@ -163,6 +163,17 @@ TEST(PercentilesTest, OrderStatistics) {
   EXPECT_NEAR(p.percentile(0.95), 95.05, 0.2);
 }
 
+// Regression (ISSUE 4): mean() silently returned 0.0 on an empty
+// collection while percentile() CHECK-failed.  Both now share the
+// CHECK-fail contract; callers gate on empty()/count() (summarize_flow
+// already did).
+TEST(PercentilesTest, EmptyQueriesCheckFail) {
+  util::Percentiles p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_DEATH(p.mean(), "NIMBUS_CHECK failed");
+  EXPECT_DEATH(p.percentile(0.5), "NIMBUS_CHECK failed");
+}
+
 TEST(PercentilesTest, SingleSample) {
   util::Percentiles p;
   p.add(7.0);
@@ -299,9 +310,23 @@ TEST(TimeSeriesTest, MeanInWindow) {
   ts.add(from_sec(1), 1.0);
   ts.add(from_sec(2), 3.0);
   ts.add(from_sec(3), 5.0);
-  EXPECT_DOUBLE_EQ(ts.mean_in(from_sec(1), from_sec(3)), 2.0);
-  EXPECT_DOUBLE_EQ(ts.mean_in(from_sec(0), from_sec(10)), 3.0);
-  EXPECT_DOUBLE_EQ(ts.mean_in(from_sec(5), from_sec(10)), 0.0);
+  EXPECT_DOUBLE_EQ(ts.mean_in(from_sec(1), from_sec(3)).value(), 2.0);
+  EXPECT_DOUBLE_EQ(ts.mean_in(from_sec(0), from_sec(10)).value(), 3.0);
+}
+
+// Regression (ISSUE 4): an empty window used to report 0.0 —
+// indistinguishable from a genuine zero mean (benches averaging eta read
+// "perfectly inelastic" where they had no data).  It is now nullopt.
+TEST(TimeSeriesTest, MeanInEmptyWindowIsNullopt) {
+  util::TimeSeries ts;
+  EXPECT_FALSE(ts.mean_in(0, from_sec(1)).has_value());
+  ts.add(from_sec(1), 4.0);
+  ts.add(from_sec(2), 0.0);
+  EXPECT_FALSE(ts.mean_in(from_sec(5), from_sec(10)).has_value());
+  EXPECT_FALSE(ts.mean_in(from_sec(0), from_sec(1)).has_value());
+  // A window holding a real zero-valued sample is a present 0.0, distinct
+  // from the empty window above.
+  EXPECT_DOUBLE_EQ(ts.mean_in(from_sec(2), from_sec(3)).value(), 0.0);
 }
 
 TEST(TimeSeriesTest, ResampleZeroOrderHold) {
