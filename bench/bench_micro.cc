@@ -21,6 +21,8 @@
 #include <set>
 
 #include "cc/cubic.h"
+#include "cc/reno.h"
+#include "cc/vegas.h"
 #include "core/elasticity.h"
 #include "exp/scenario.h"
 #include "legacy_event_loop.h"
@@ -513,6 +515,147 @@ void BM_DeliveryPathRecorderMapLegacy(benchmark::State& state) {
   recorder_delivery_workload<LegacyMapRecorder>(state);
 }
 BENCHMARK(BM_DeliveryPathRecorderMapLegacy);
+
+// --- delivery path: ByteCounter, per-packet appends vs 1 ms buckets -----
+
+// The pre-PR 5 ByteCounter stored one (time, cumulative) pair per
+// delivered packet.  The recorder now constructs bucketed counters
+// (util::ByteCounter(from_ms(1))): same aligned-query answers, ~8x fewer
+// stored samples at paper packet rates, and the common-case add is a
+// back-of-vector overwrite.  A default-constructed counter *is* the
+// legacy implementation, so the A/B is same-binary.  Items = adds.
+template <bool kBucketed>
+void byte_counter_add_workload(benchmark::State& state) {
+  constexpr int kAdds = 32768;
+  constexpr TimeNs kSpacing = 125'000;  // 8000 pkt/s, a 96 Mbit/s flow
+  std::int64_t sink = 0;
+  for (auto _ : state) {
+    util::ByteCounter c =
+        kBucketed ? util::ByteCounter(from_ms(1)) : util::ByteCounter();
+    TimeNs t = 0;
+    for (int i = 0; i < kAdds; ++i) {
+      t += kSpacing;
+      c.add(t, 1500);
+    }
+    // The consumer side: one per-second reduction, as the benches do.
+    sink += static_cast<std::int64_t>(
+        c.bucket_rates_bps(0, kAdds * kSpacing, from_sec(1)).size());
+    sink += c.total();
+    benchmark::DoNotOptimize(sink);
+    benchmark::DoNotOptimize(c.samples());
+  }
+  state.SetItemsProcessed(state.iterations() * kAdds);
+}
+
+void BM_DeliveryByteCounterBucketed(benchmark::State& state) {
+  byte_counter_add_workload<true>(state);
+}
+BENCHMARK(BM_DeliveryByteCounterBucketed);
+
+void BM_DeliveryByteCounterPerPacketLegacy(benchmark::State& state) {
+  byte_counter_add_workload<false>(state);
+}
+BENCHMARK(BM_DeliveryByteCounterPerPacketLegacy);
+
+// --- ACK path: cc virtual dispatch vs sealed enum-tag dispatch ----------
+
+// ROADMAP hot-spot measurement: is the per-ACK `cc_->on_ack` virtual call
+// worth devirtualizing?  Both variants run the same concrete algorithm
+// bodies against the same stub context (whose own virtual calls are part
+// of the measured body, exactly as in TransportFlow); the only difference
+// is how on_ack is reached — through the CcAlgorithm vtable, or through a
+// sealed enum tag + qualified (devirtualized, inlineable) call, the shape
+// a kind-tag refactor of the transport would produce.  The measured delta
+// bounds what such a refactor could save per ACK.  Items = on_ack calls.
+struct StubCcContext final : sim::CcContext {
+  double cwnd = 64 * 1500.0;
+  double pacing = 0.0;
+  double rate_window = 0.0;
+  util::Rng rng_{42};
+
+  TimeNs now() const override { return from_sec(1); }
+  std::uint32_t mss() const override { return 1500; }
+  double cwnd_bytes() const override { return cwnd; }
+  void set_cwnd_bytes(double b) override { cwnd = b; }
+  double pacing_rate_bps() const override { return pacing; }
+  void set_pacing_rate_bps(double b) override { pacing = b; }
+  TimeNs srtt() const override { return from_ms(50); }
+  TimeNs latest_rtt() const override { return from_ms(55); }
+  TimeNs min_rtt() const override { return from_ms(50); }
+  std::int64_t bytes_in_flight() const override { return 48 * 1500; }
+  bool is_app_limited() const override { return false; }
+  double send_rate_bps() const override { return 48e6; }
+  double recv_rate_bps() const override { return 46e6; }
+  bool rates_valid() const override { return true; }
+  void set_rate_window_bytes(double b) override { rate_window = b; }
+  util::Rng& rng() override { return rng_; }
+};
+
+enum class CcTag { kCubic, kReno, kVegas };
+
+struct TaggedCc {
+  CcTag tag;
+  std::unique_ptr<sim::CcAlgorithm> algo;
+};
+
+std::vector<TaggedCc> make_cc_mix() {
+  // The fig08 scheme mix shape: several algorithms live per run, so the
+  // dispatch site is megamorphic — the regime where virtual calls cost
+  // the most (indirect-branch misprediction).
+  std::vector<TaggedCc> mix;
+  for (int i = 0; i < 2; ++i) {
+    mix.push_back({CcTag::kCubic, std::make_unique<cc::Cubic>()});
+    mix.push_back({CcTag::kReno, std::make_unique<cc::Reno>()});
+    mix.push_back({CcTag::kVegas, std::make_unique<cc::Vegas>()});
+  }
+  return mix;
+}
+
+template <bool kSealed>
+void cc_dispatch_workload(benchmark::State& state) {
+  constexpr int kAcks = 8192;
+  auto mix = make_cc_mix();
+  StubCcContext ctx;
+  for (auto& m : mix) m.algo->init(ctx);
+  sim::AckInfo ack;
+  ack.newly_acked_bytes = 1500;
+  ack.rtt = from_ms(55);
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    for (int a = 0; a < kAcks; ++a) {
+      TaggedCc& m = mix[a % mix.size()];
+      ack.now = from_sec(1) + static_cast<TimeNs>(a) * 125'000;
+      ack.seq = ++seq;
+      if constexpr (kSealed) {
+        switch (m.tag) {
+          case CcTag::kCubic:
+            static_cast<cc::Cubic&>(*m.algo).cc::Cubic::on_ack(ctx, ack);
+            break;
+          case CcTag::kReno:
+            static_cast<cc::Reno&>(*m.algo).cc::Reno::on_ack(ctx, ack);
+            break;
+          case CcTag::kVegas:
+            static_cast<cc::Vegas&>(*m.algo).cc::Vegas::on_ack(ctx, ack);
+            break;
+        }
+      } else {
+        m.algo->on_ack(ctx, ack);
+      }
+    }
+    benchmark::DoNotOptimize(ctx.cwnd);
+  }
+  state.SetItemsProcessed(state.iterations() * kAcks);
+}
+
+void BM_CcDispatchSealed(benchmark::State& state) {
+  cc_dispatch_workload<true>(state);
+}
+BENCHMARK(BM_CcDispatchSealed);
+
+void BM_CcDispatchVirtual(benchmark::State& state) {
+  cc_dispatch_workload<false>(state);
+}
+BENCHMARK(BM_CcDispatchVirtual);
 
 // --- queue disc ---------------------------------------------------------
 

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Generates the synthetic cellular-like Mahimahi traces in data/traces/.
+
+Mahimahi trace format: one line per packet-delivery opportunity, each line
+the opportunity's integer millisecond timestamp; the final timestamp is
+the looping period.  One opportunity carries 1504 bytes, so k
+opportunities per millisecond = k * 12.032 Mbit/s.
+
+The generator is deliberately simple and fully seeded: a mean-reverting
+log-rate random walk (cellular links wander over roughly an order of
+magnitude with multi-second correlation; see the Verizon/TMobile traces
+shipped with Mahimahi) with occasional deep fades for `cellular.trace`,
+and a faster, shallower walk for `wifi.trace`.  Opportunities are laid
+out by accumulating fractional per-ms credit, which reproduces the
+bursty integer spacing real traces show.
+
+Regenerate with:  python3 scripts/gen_traces.py
+(Output is deterministic; the checked-in traces should never drift.)
+"""
+import math
+import os
+import random
+
+
+def gen_walk(seed, duration_ms, mean_pkts_per_ms, sigma, revert, fade_prob,
+             fade_depth, correlation_ms):
+    """Per-ms delivery opportunities from a mean-reverting log-rate walk."""
+    rng = random.Random(seed)
+    log_mean = math.log(mean_pkts_per_ms)
+    log_rate = log_mean
+    fade_left = 0
+    opportunities = []
+    credit = 0.0
+    rate = mean_pkts_per_ms
+    for ms in range(duration_ms):
+        if ms % correlation_ms == 0:
+            step = rng.gauss(0.0, sigma)
+            log_rate += step + revert * (log_mean - log_rate)
+            if fade_left > 0:
+                fade_left -= 1
+            elif rng.random() < fade_prob:
+                fade_left = rng.randint(2, 6)  # correlation windows
+            fade = fade_depth if fade_left > 0 else 0.0
+            rate = math.exp(log_rate - fade)
+        credit += rate
+        while credit >= 1.0:
+            opportunities.append(ms)
+            credit -= 1.0
+    # Close the loop: the final timestamp defines the period.
+    if not opportunities or opportunities[-1] != duration_ms:
+        opportunities.append(duration_ms)
+    return opportunities
+
+
+def write(path, opportunities):
+    with open(path, "w") as f:
+        for ms in opportunities:
+            f.write(f"{ms}\n")
+    rate = (len(opportunities) - 1) * 1504 * 8 / (opportunities[-1] / 1000.0)
+    print(f"{path}: {len(opportunities)} opportunities, "
+          f"{opportunities[-1]} ms period, mean {rate / 1e6:.2f} Mbit/s")
+
+
+def main():
+    out_dir = os.path.join(os.path.dirname(__file__), "..", "data", "traces")
+    os.makedirs(out_dir, exist_ok=True)
+    # Cellular: ~12 Mbit/s mean, order-of-magnitude swings, multi-second
+    # correlation, occasional deep fades.
+    write(os.path.join(out_dir, "cellular.trace"),
+          gen_walk(seed=20260730, duration_ms=16000, mean_pkts_per_ms=1.0,
+                   sigma=0.45, revert=0.25, fade_prob=0.06, fade_depth=1.8,
+                   correlation_ms=200))
+    # Wi-Fi: faster shallow variation around ~24 Mbit/s, no deep fades.
+    write(os.path.join(out_dir, "wifi.trace"),
+          gen_walk(seed=1137, duration_ms=12000, mean_pkts_per_ms=2.0,
+                   sigma=0.25, revert=0.35, fade_prob=0.0, fade_depth=0.0,
+                   correlation_ms=50))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,5 +1,6 @@
 #include "exp/ground_truth.h"
 
+#include <cmath>
 #include <memory>
 
 #include "util/check.h"
@@ -86,6 +87,27 @@ void attach_copa_poller(sim::Network* net, const cc::Copa* copa,
                         ModeLog* mode_log, TimeNs interval) {
   NIMBUS_CHECK(net != nullptr && copa != nullptr && mode_log != nullptr);
   net->loop().schedule_in(interval, CopaPoll{net, copa, mode_log, interval});
+}
+
+std::optional<double> mean_z_error(
+    const util::TimeSeries& z_log,
+    const std::function<double(TimeNs)>& true_z_bps,
+    const std::function<double(TimeNs)>& mu_bps, TimeNs t0, TimeNs t1) {
+  NIMBUS_CHECK(true_z_bps != nullptr && mu_bps != nullptr);
+  const auto& times = z_log.times();
+  const auto& values = z_log.values();
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const TimeNs t = times[i];
+    if (t < t0 || t >= t1) continue;
+    const double mu = mu_bps(t);
+    NIMBUS_CHECK_MSG(mu > 0, "mean_z_error: mu(t) must be > 0");
+    sum += std::abs(values[i] - true_z_bps(t)) / mu;
+    ++n;
+  }
+  if (n == 0) return std::nullopt;
+  return sum / static_cast<double>(n);
 }
 
 }  // namespace nimbus::exp

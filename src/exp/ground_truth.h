@@ -3,6 +3,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "cc/copa.h"
@@ -60,5 +61,18 @@ void attach_nimbus_logger(core::Nimbus* nimbus, ModeLog* mode_log,
 /// Polls a Copa instance's mode every `interval` on the network's loop.
 void attach_copa_poller(sim::Network* net, const cc::Copa* copa,
                         ModeLog* mode_log, TimeNs interval = from_ms(10));
+
+/// µ(t)-aware z-estimate scoring for time-varying-bottleneck experiments:
+/// mean of |z(t) − z_true(t)| / µ(t) over the z-log samples in [t0, t1),
+/// i.e. the cross-traffic estimation error normalized by the capacity in
+/// effect when each sample was taken (a 10 Mbit/s error matters more on a
+/// link that has dipped to 30 Mbit/s than at its 96 Mbit/s peak).
+/// `true_z_bps` and `mu_bps` are evaluated at each sample's timestamp —
+/// pass exp::make_link_schedule(spec)'s rate_at for µ.  Returns nullopt if
+/// the window holds no samples.
+std::optional<double> mean_z_error(
+    const util::TimeSeries& z_log,
+    const std::function<double(TimeNs)>& true_z_bps,
+    const std::function<double(TimeNs)>& mu_bps, TimeNs t0, TimeNs t1);
 
 }  // namespace nimbus::exp

@@ -150,6 +150,40 @@ CrossSpec CrossSpec::nimbus_flow(const core::Nimbus::Config& cfg,
   return c;
 }
 
+LinkSpec LinkSpec::make_steps(std::vector<sim::RateStep> s) {
+  LinkSpec l;
+  l.kind = Kind::kSteps;
+  l.steps = std::move(s);
+  return l;
+}
+
+LinkSpec LinkSpec::sine(double amplitude_frac, TimeNs period, TimeNs quantum) {
+  LinkSpec l;
+  l.kind = Kind::kSine;
+  l.amplitude_frac = amplitude_frac;
+  l.period = period;
+  l.quantum = quantum;
+  return l;
+}
+
+LinkSpec LinkSpec::random_walk(double amplitude_frac, TimeNs step_interval,
+                               double step_frac, std::uint64_t seed) {
+  LinkSpec l;
+  l.kind = Kind::kRandomWalk;
+  l.amplitude_frac = amplitude_frac;
+  l.step_interval = step_interval;
+  l.step_frac = step_frac;
+  l.seed = seed;
+  return l;
+}
+
+LinkSpec LinkSpec::trace(std::string path) {
+  LinkSpec l;
+  l.kind = Kind::kTrace;
+  l.trace_path = std::move(path);
+  return l;
+}
+
 traffic::FlowWorkload::Config unseeded_workload_config() {
   traffic::FlowWorkload::Config wc;
   wc.seed = 0;
@@ -192,6 +226,12 @@ std::unique_ptr<sim::Network> make_bottleneck(const ScenarioSpec& spec) {
                                     : flow_seed(spec.seed, /*legacy=*/7));
   }
   if (spec.policer.enabled) net->link().set_policer(spec.policer);
+  // Non-constant µ(t): install the schedule before any traffic exists.
+  // The constant default installs nothing at all, keeping pre-existing
+  // scenarios' event streams bit-identical.
+  if (spec.link.kind != LinkSpec::Kind::kConstant) {
+    net->link().set_schedule(make_link_schedule(spec));
+  }
   return net;
 }
 
@@ -325,6 +365,47 @@ void add_cross_entry(const ScenarioSpec& spec, const CrossSpec& c,
 }
 
 }  // namespace
+
+std::unique_ptr<sim::RateSchedule> make_link_schedule(
+    const ScenarioSpec& spec) {
+  const LinkSpec& l = spec.link;
+  switch (l.kind) {
+    case LinkSpec::Kind::kConstant:
+      return sim::RateSchedule::constant(spec.mu_bps);
+    case LinkSpec::Kind::kSteps:
+      return sim::RateSchedule::steps(spec.mu_bps, l.steps);
+    case LinkSpec::Kind::kSine:
+      return sim::RateSchedule::sine(spec.mu_bps, l.amplitude_frac, l.period,
+                                     l.quantum);
+    case LinkSpec::Kind::kRandomWalk:
+      return sim::RateSchedule::random_walk(
+          spec.mu_bps, l.amplitude_frac, l.step_interval, l.step_frac,
+          // Legacy stream 97 under the default base, like the other
+          // unseeded streams (no historical output to preserve — 97 is
+          // just this subsystem's legacy constant).
+          l.seed != 0 ? l.seed : flow_seed(spec.seed, /*legacy=*/97));
+    case LinkSpec::Kind::kTrace: {
+      sim::RateSchedule::TraceConfig cfg;
+      cfg.bytes_per_opportunity = l.trace_opportunity_bytes;
+      cfg.bucket = l.trace_bucket;
+      cfg.min_rate_bps = l.trace_min_rate_bps;
+      cfg.scale = l.trace_scale;
+      return sim::RateSchedule::from_trace_file(l.trace_path, cfg);
+    }
+  }
+  NIMBUS_CHECK_MSG(false, "unreachable: unknown LinkSpec kind");
+  return nullptr;
+}
+
+double mu_at(const ScenarioSpec& spec, TimeNs t) {
+  if (spec.link.kind == LinkSpec::Kind::kConstant) return spec.mu_bps;
+  return make_link_schedule(spec)->rate_at(t);
+}
+
+double trace_mean_rate_bps(const std::string& path,
+                           const sim::RateSchedule::TraceConfig& cfg) {
+  return sim::RateSchedule::from_trace_file(path, cfg)->mean_rate_bps();
+}
 
 BuiltScenario build_network(const ScenarioSpec& spec) {
   BuiltScenario out;

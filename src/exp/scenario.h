@@ -150,6 +150,58 @@ struct ProtagonistSpec {
 
 enum class QueueKind { kDropTail, kPie };
 
+/// The bottleneck's rate behaviour over time (sim/link_schedule.h).  The
+/// default (kConstant) is exactly the fixed-µ link every pre-existing
+/// scenario ran on — build_network installs no schedule object at all, so
+/// the event stream is bit-identical.  Any other kind varies µ(t) around
+/// ScenarioSpec::mu_bps (steps are absolute rates; sine/random-walk treat
+/// mu_bps as the mean; a trace replaces µ entirely — set mu_bps to the
+/// trace's mean, see trace_mean_rate_bps, so buffer sizing and known-µ
+/// stay consistent).  Schedules compose with every queue kind, but note
+/// PIE estimates departure delay from its configured constant rate, so a
+/// strongly varying µ degrades its delay estimate (as it would a real
+/// deployment tuned for the wrong rate).
+struct LinkSpec {
+  enum class Kind { kConstant, kSteps, kSine, kRandomWalk, kTrace };
+
+  Kind kind = Kind::kConstant;
+
+  // kSteps: piecewise-constant breakpoints; mu_bps applies before the
+  // first one.  Usable per phase: align breakpoints with cross-traffic
+  // phase boundaries to move µ between phases.
+  std::vector<sim::RateStep> steps;
+
+  // kSine / kRandomWalk: peak deviation as a fraction of mu_bps (sine
+  // amplitude; random-walk clamp to mu_bps·[1−a, 1+a]).
+  double amplitude_frac = 0.25;
+
+  // kSine.
+  TimeNs period = from_sec(10);
+  TimeNs quantum = from_ms(100);  // discretization grid
+
+  // kRandomWalk.
+  TimeNs step_interval = from_ms(200);
+  double step_frac = 0.05;   // per-step max move, fraction of mu_bps
+  std::uint64_t seed = 0;    // 0 = derive from the scenario seed
+
+  // kTrace: Mahimahi .trace file (ms-granularity delivery opportunities).
+  std::string trace_path;
+  std::int64_t trace_opportunity_bytes = 1504;
+  TimeNs trace_bucket = from_ms(10);
+  double trace_min_rate_bps = 0.0;  // 0 = one opportunity per bucket
+  double trace_scale = 1.0;
+
+  static LinkSpec constant() { return {}; }
+  static LinkSpec make_steps(std::vector<sim::RateStep> s);
+  static LinkSpec sine(double amplitude_frac, TimeNs period,
+                       TimeNs quantum = from_ms(100));
+  static LinkSpec random_walk(double amplitude_frac,
+                              TimeNs step_interval = from_ms(200),
+                              double step_frac = 0.05,
+                              std::uint64_t seed = 0);
+  static LinkSpec trace(std::string path);
+};
+
 /// FlowWorkload::Config with seed = 0, meaning "derive from the scenario
 /// base seed" (FlowWorkload's own default of 1234 would make the derive
 /// check unreachable).
@@ -160,6 +212,7 @@ struct ScenarioSpec {
 
   // Bottleneck.
   double mu_bps = 96e6;
+  LinkSpec link;                     // µ(t); default = constant mu_bps
   TimeNs rtt = from_ms(50);          // protagonist propagation RTT
   double buffer_bdp = 2.0;
   std::int64_t buffer_bytes = 0;     // >0 overrides buffer_bdp
@@ -211,6 +264,24 @@ struct BuiltScenario {
 
 /// Assembles a ready-to-run network from the spec (does not run it).
 BuiltScenario build_network(const ScenarioSpec& spec);
+
+/// Builds the spec's µ(t) schedule (seed resolution included): the same
+/// object build_network installs on the link for non-constant kinds.
+/// Ground-truth scoring builds its own copy to replay the identical µ(t)
+/// trajectory after the run.
+std::unique_ptr<sim::RateSchedule> make_link_schedule(const ScenarioSpec& spec);
+
+/// µ at time t under the spec's link schedule.  Convenience for one-off
+/// queries; sweeps should hold a make_link_schedule result and call
+/// rate_at directly (trace/walk construction is not free).
+double mu_at(const ScenarioSpec& spec, TimeNs t);
+
+/// Mean rate of a Mahimahi trace under the given config — the value to
+/// put in ScenarioSpec::mu_bps for kTrace scenarios so buffers and
+/// known-µ are sized off the trace's actual average capacity.
+double trace_mean_rate_bps(
+    const std::string& path,
+    const sim::RateSchedule::TraceConfig& cfg = {});
 
 /// A completed scenario run.  The logs are populated (and non-null) when
 /// the protagonist is a Nimbus flow — mode decisions, smoothed eta and raw

@@ -70,7 +70,13 @@ void BottleneckLink::start_transmission() {
   const TimeNs t = tx_time(next->size_bytes, rate_bps_);
   busy_time_ += t;
   in_flight_ = *next;
-  loop_->schedule_in(t, TxDone{this});
+  const EventId id = loop_->schedule_in(t, TxDone{this});
+  if (schedule_ != nullptr) {
+    tx_done_id_ = id;
+    tx_done_time_ = loop_->now() + t;
+    tx_checkpoint_ = loop_->now();
+    tx_remaining_bytes_ = static_cast<double>(in_flight_.size_bytes);
+  }
 }
 
 void BottleneckLink::finish_transmission() {
@@ -84,6 +90,51 @@ void BottleneckLink::finish_transmission() {
 void BottleneckLink::set_rate_bps(double rate_bps) {
   NIMBUS_CHECK(rate_bps > 0);
   rate_bps_ = rate_bps;
+}
+
+void BottleneckLink::set_schedule(std::unique_ptr<RateSchedule> schedule) {
+  NIMBUS_CHECK_MSG(schedule_ == nullptr, "schedule already installed");
+  NIMBUS_CHECK_MSG(!busy_ && loop_->now() == 0,
+                   "install the schedule before traffic starts");
+  NIMBUS_CHECK(schedule != nullptr);
+  schedule_ = std::move(schedule);
+  rate_bps_ = schedule_->rate_at(loop_->now());
+  const TimeNs next = schedule_->next_change_after(loop_->now());
+  if (next != RateSchedule::kNoChange) {
+    loop_->schedule(next, ScheduleTick{this});
+  }
+}
+
+void BottleneckLink::on_schedule_tick() {
+  const TimeNs now = loop_->now();
+  const double new_rate = schedule_->rate_at(now);
+  if (new_rate != rate_bps_) apply_rate_change(new_rate);
+  const TimeNs next = schedule_->next_change_after(now);
+  if (next != RateSchedule::kNoChange) {
+    loop_->schedule(next, ScheduleTick{this});
+  }
+}
+
+void BottleneckLink::apply_rate_change(double new_rate_bps) {
+  NIMBUS_CHECK(new_rate_bps > 0);
+  if (busy_) {
+    // Retire the bytes serialized at the old rate since the last
+    // checkpoint, then retime the in-flight TxDone so the residual bytes
+    // finish at the new rate.  busy_time_ was charged the whole packet at
+    // the start-of-transmission rate; correct it by the deadline shift.
+    const TimeNs now = loop_->now();
+    tx_remaining_bytes_ -= bytes_in(now - tx_checkpoint_, rate_bps_);
+    if (tx_remaining_bytes_ < 0.0) tx_remaining_bytes_ = 0.0;
+    tx_checkpoint_ = now;
+    const TimeNs remaining = static_cast<TimeNs>(
+        tx_remaining_bytes_ * 8.0 / new_rate_bps *
+            static_cast<double>(kNanosPerSec) +
+        0.5);
+    busy_time_ += (now + remaining) - tx_done_time_;
+    tx_done_time_ = now + remaining;
+    tx_done_id_ = loop_->reschedule(tx_done_id_, tx_done_time_);
+  }
+  rate_bps_ = new_rate_bps;
 }
 
 TimeNs BottleneckLink::current_queue_delay() const {

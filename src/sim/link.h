@@ -1,6 +1,14 @@
 // The bottleneck link: a work-conserving transmitter draining a queue
-// discipline at a fixed rate, with optional random loss and an optional
-// token-bucket policer (used to emulate lossy / policed Internet paths).
+// discipline, with optional random loss and an optional token-bucket
+// policer (used to emulate lossy / policed Internet paths).
+//
+// The drain rate is either a fixed µ (the default) or time-varying via an
+// installed RateSchedule (sim/link_schedule.h): the link applies each
+// schedule change with one loop event and, if a packet is mid-
+// serialization, recomputes its remaining transmission time at the new
+// rate — the residual bytes finish serializing at the post-change µ,
+// exactly as a Mahimahi link would deliver them.  Without a schedule the
+// transmit path is byte-for-byte the fixed-rate implementation.
 #pragma once
 
 #include <cstdint>
@@ -8,6 +16,7 @@
 #include <memory>
 
 #include "sim/event_loop.h"
+#include "sim/link_schedule.h"
 #include "sim/packet.h"
 #include "sim/queue_disc.h"
 #include "util/rng.h"
@@ -49,6 +58,15 @@ class BottleneckLink {
   void set_rate_bps(double rate_bps);
   double rate_bps() const { return rate_bps_; }
 
+  /// Installs a time-varying rate schedule.  The link immediately adopts
+  /// rate_at(now) and drives itself with one loop event per schedule
+  /// change point; a change arriving while a packet is mid-serialization
+  /// recomputes the in-flight TxDone from the residual bytes.  Call once,
+  /// before traffic starts.  A constant schedule registers no events and
+  /// leaves the transmit path bit-identical to the plain fixed-rate link.
+  void set_schedule(std::unique_ptr<RateSchedule> schedule);
+  const RateSchedule* schedule() const { return schedule_.get(); }
+
   const QueueDisc& qdisc() const { return *qdisc_; }
 
   /// Instantaneous queueing-delay estimate: queued bytes / link rate (plus
@@ -72,20 +90,38 @@ class BottleneckLink {
     void operator()() const { link->finish_transmission(); }
   };
 
+  // Schedule-change event: fires at each RateSchedule change point,
+  // applies the new rate, and re-arms itself for the next one.
+  struct ScheduleTick {
+    BottleneckLink* link;
+    void operator()() const { link->on_schedule_tick(); }
+  };
+
   void start_transmission();
   void finish_transmission();
   void drop(const Packet& p);
   bool policer_admits(const Packet& p);
+  void on_schedule_tick();
+  void apply_rate_change(double new_rate_bps);
 
   EventLoop* loop_;
   double rate_bps_;
   std::unique_ptr<QueueDisc> qdisc_;
+  std::unique_ptr<RateSchedule> schedule_;
   DeliveryHandler on_delivery_;
   DropHandler on_drop_;
 
   bool busy_ = false;
   TimeNs busy_time_ = 0;
   Packet in_flight_;
+  // In-flight serialization state, maintained only while a schedule is
+  // installed: residual bytes as of tx_checkpoint_, the pending TxDone
+  // event id, and its current deadline (so a mid-flight rate change can
+  // retime the event and correct busy_time_).
+  EventId tx_done_id_ = 0;
+  TimeNs tx_done_time_ = 0;
+  TimeNs tx_checkpoint_ = 0;
+  double tx_remaining_bytes_ = 0.0;
 
   double loss_prob_ = 0.0;
   util::Rng loss_rng_;

@@ -1,0 +1,149 @@
+// Time-varying bottleneck rates: the simulated equivalent of Mahimahi's
+// defining capability (the paper's whole testbed, Fig. 2) — emulating
+// cellular / Wi-Fi links whose capacity µ(t) moves while the experiment
+// runs.
+//
+// A RateSchedule is a piecewise-constant function of simulated time.  The
+// BottleneckLink drains according to the active schedule: it asks the
+// schedule for the rate in effect now and for the next change point, and
+// reschedules itself with one cheap loop event per change (see
+// BottleneckLink::set_schedule).  Schedules are therefore *queried*, never
+// polled — a constant schedule costs zero events, a 10 ms-bucketed
+// cellular trace costs 100 events per simulated second.
+//
+// Kinds:
+//   * constant      — fixed µ (the degenerate case; installing it is
+//                     bit-identical to not installing a schedule at all).
+//   * steps         — explicit (time, rate) breakpoints, e.g. a capacity
+//                     drop halfway through a run.
+//   * sine          — µ(t) = mean·(1 + a·sin(2πt/T)), quantised to a step
+//                     grid so the link sees piecewise-constant rates.
+//   * random_walk   — seeded multiplicative-free walk, clamped to
+//                     mean·[1−a, 1+a]; lazily materialised and memoised so
+//                     rate_at() is random access yet deterministic.
+//   * trace         — a Mahimahi-format packet-delivery trace (one integer
+//                     millisecond timestamp per line; each line is one
+//                     delivery opportunity of `bytes_per_opportunity`
+//                     bytes; the final timestamp is the looping period).
+//                     Opportunities are bucketed into `bucket`-wide windows
+//                     and each window becomes one piecewise-constant rate,
+//                     floored at `min_rate_bps` so outages never stall the
+//                     work-conserving link forever (a deliberate deviation
+//                     from Mahimahi, which can park packets indefinitely).
+//
+// Determinism: schedules own their RNG state (seeded at construction) and
+// never touch global randomness, so a (spec, seed) pair replays the same
+// µ(t) in the link, in ground-truth scoring, and across parallel runner
+// threads.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace nimbus::sim {
+
+/// One piecewise-constant breakpoint: from `at` onwards the rate is
+/// `rate_bps` (until the next step).
+struct RateStep {
+  TimeNs at = 0;
+  double rate_bps = 0.0;
+};
+
+/// Conversion knobs for Mahimahi packet-delivery traces (namespace scope —
+/// a nested struct's member initializers cannot feed a default argument of
+/// the enclosing class; aliased as RateSchedule::TraceConfig).
+struct TraceScheduleConfig {
+  /// Bytes one delivery opportunity carries (Mahimahi's default MTU).
+  std::int64_t bytes_per_opportunity = 1504;
+  /// Smoothing window: opportunities per bucket become one rate.
+  TimeNs bucket = from_ms(10);
+  /// Rate floor; 0 means "one opportunity per bucket" so trace outages
+  /// slow the link to a crawl instead of stalling it.
+  double min_rate_bps = 0.0;
+  /// Multiplies every bucket rate (scale a trace to a target mean).
+  double scale = 1.0;
+};
+
+class RateSchedule {
+ public:
+  /// Sentinel for "the rate never changes again".
+  static constexpr TimeNs kNoChange = std::numeric_limits<TimeNs>::max();
+
+  virtual ~RateSchedule() = default;
+
+  /// Rate in bits/s in effect at simulated time t (piecewise constant,
+  /// right-continuous: the value at a change point is the new rate).
+  /// Always > 0.
+  virtual double rate_at(TimeNs t) const = 0;
+
+  /// Earliest time > t at which rate_at may differ from rate_at(t), or
+  /// kNoChange.  May be conservative (a change point where the rate
+  /// happens to be equal is fine — the link skips no-op changes); must
+  /// never skip a real change.
+  virtual TimeNs next_change_after(TimeNs t) const = 0;
+
+  /// Nominal mean rate (the constant rate; the sine/walk mean; the
+  /// trace's per-period average).  Experiments use this as the "known µ"
+  /// handed to schemes and for buffer sizing.
+  virtual double mean_rate_bps() const = 0;
+
+  // --- factories ---
+
+  static std::unique_ptr<RateSchedule> constant(double rate_bps);
+
+  /// Piecewise-constant steps.  `initial_rate_bps` applies before the
+  /// first breakpoint; breakpoints must be strictly increasing in time
+  /// with positive rates.
+  static std::unique_ptr<RateSchedule> steps(double initial_rate_bps,
+                                             std::vector<RateStep> steps);
+
+  /// mean·(1 + amplitude_frac·sin(2πt/period)), quantised to `quantum`.
+  /// Requires 0 <= amplitude_frac < 1 (the rate must stay positive).
+  static std::unique_ptr<RateSchedule> sine(double mean_bps,
+                                            double amplitude_frac,
+                                            TimeNs period,
+                                            TimeNs quantum = from_ms(100));
+
+  /// Seeded random walk: every `step_interval` the rate moves by
+  /// uniform(-step_frac, +step_frac)·mean and is clamped to
+  /// mean·[1−amplitude_frac, 1+amplitude_frac].  Deterministic in `seed`
+  /// (random access is memoised, so querying t out of order replays the
+  /// identical walk).
+  static std::unique_ptr<RateSchedule> random_walk(double mean_bps,
+                                                   double amplitude_frac,
+                                                   TimeNs step_interval,
+                                                   double step_frac,
+                                                   std::uint64_t seed);
+
+  using TraceConfig = TraceScheduleConfig;
+
+  /// Loads a Mahimahi .trace file (see the header comment for the format
+  /// and bucketing semantics).  CHECK-fails on unreadable files, malformed
+  /// lines, decreasing timestamps, or an empty/zero-length trace.
+  static std::unique_ptr<RateSchedule> from_trace_file(
+      const std::string& path, const TraceConfig& cfg = TraceConfig());
+
+  /// Same, from already-parsed opportunity timestamps (milliseconds).
+  /// `origin` names the source in error messages.
+  static std::unique_ptr<RateSchedule> from_trace_ms(
+      const std::vector<std::int64_t>& opportunities_ms,
+      const TraceConfig& cfg = TraceConfig(),
+      const std::string& origin = "<memory>");
+};
+
+/// Parses a Mahimahi trace file into opportunity timestamps (ms).
+/// Skips blank lines and '#' comments; CHECK-fails on anything else that
+/// is not a non-negative integer, or if timestamps decrease.
+std::vector<std::int64_t> parse_trace_file(const std::string& path);
+
+/// Writes opportunity timestamps in Mahimahi format (one ms per line) —
+/// the inverse of parse_trace_file, used by tests and trace generators.
+void write_trace_file(const std::string& path,
+                      const std::vector<std::int64_t>& opportunities_ms);
+
+}  // namespace nimbus::sim

@@ -96,10 +96,18 @@ void TimeSeries::clear() {
 }
 
 void ByteCounter::add(TimeNs t, std::int64_t bytes) {
-  NIMBUS_CHECK_MSG(times_.empty() || t >= times_.back(),
-                   "ByteCounter samples must be time-ordered");
   total_ += bytes;
-  times_.push_back(t);
+  // Bucketed mode stamps the sample at the bucket's last nanosecond, so a
+  // bucket-aligned boundary B sees exactly the packets delivered before B
+  // (their stamps are <= B-1) — the same answer the exact mode gives.
+  const TimeNs stamp = bucket_ > 0 ? (t / bucket_) * bucket_ + bucket_ - 1 : t;
+  if (!times_.empty() && stamp == times_.back() && bucket_ > 0) {
+    cumulative_.back() = total_;
+    return;
+  }
+  NIMBUS_CHECK_MSG(times_.empty() || stamp >= times_.back(),
+                   "ByteCounter samples must be time-ordered");
+  times_.push_back(stamp);
   cumulative_.push_back(total_);
 }
 

@@ -371,6 +371,46 @@ TEST(ByteCounterTest, EmptyIntervals) {
   EXPECT_DOUBLE_EQ(c.rate_bps(0, from_sec(1)), 0.0);
 }
 
+// Bucketed mode (the recorder's delivered-bytes configuration): adds
+// inside one bucket collapse into a single stored sample, and every
+// bucket-aligned query answers exactly like the per-sample counter.
+TEST(ByteCounterTest, BucketedMatchesExactOnAlignedQueries) {
+  util::ByteCounter exact;
+  util::ByteCounter bucketed(from_ms(1));
+  // Simulated packet arrivals at 125 us spacing across 40 ms, with a gap.
+  std::vector<TimeNs> stamps;
+  for (int i = 0; i < 160; ++i) stamps.push_back(i * from_ms(0.125));
+  for (int i = 0; i < 80; ++i) {
+    stamps.push_back(from_ms(30) + i * from_ms(0.125));
+  }
+  for (TimeNs t : stamps) {
+    exact.add(t, 1500);
+    bucketed.add(t, 1500);
+  }
+  EXPECT_EQ(bucketed.total(), exact.total());
+  // ~8 adds per occupied millisecond collapse into one sample each.
+  EXPECT_EQ(bucketed.samples(), 30u);
+  EXPECT_EQ(exact.samples(), stamps.size());
+  for (TimeNs t0 = 0; t0 <= from_ms(40); t0 += from_ms(1)) {
+    for (TimeNs t1 = t0 + from_ms(1); t1 <= from_ms(40); t1 += from_ms(7)) {
+      EXPECT_EQ(bucketed.bytes_in(t0, t1), exact.bytes_in(t0, t1));
+      EXPECT_DOUBLE_EQ(bucketed.rate_bps(t0, t1), exact.rate_bps(t0, t1));
+    }
+  }
+  const auto eb = exact.bucket_rates_bps(0, from_ms(40), from_ms(2));
+  const auto bb = bucketed.bucket_rates_bps(0, from_ms(40), from_ms(2));
+  ASSERT_EQ(eb.size(), bb.size());
+  for (std::size_t i = 0; i < eb.size(); ++i) EXPECT_DOUBLE_EQ(bb[i], eb[i]);
+}
+
+TEST(ByteCounterTest, BucketedStillRejectsTimeTravel) {
+  util::ByteCounter c(from_ms(1));
+  c.add(from_ms(5), 100);
+  c.add(from_ms(5) + 1, 100);  // same bucket: merges
+  EXPECT_EQ(c.samples(), 1u);
+  EXPECT_DEATH(c.add(from_ms(3), 100), "time-ordered");
+}
+
 // --- csv ---
 
 TEST(CsvTest, FormatNum) {
