@@ -17,6 +17,7 @@
 // same-flags.  All report items/sec = ACK (or delivery) operations.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <map>
 #include <set>
 
@@ -84,6 +85,54 @@ void BM_ElasticityEvaluate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ElasticityEvaluate);
+
+// --- per-report spectral path: sliding-DFT engine vs recompute ----------
+
+// The detector work one Nimbus report costs in steady state: one z sample
+// in, eta at both pulse frequencies (watchers evaluate f_pc AND f_pd every
+// report), and the conflict check's band peak.  The incremental variant is
+// the production ElasticityDetector (O(tracked_bins) per sample, O(1) per
+// bin per query); the reference variant is the from-scratch recompute the
+// seed shipped (snapshot + mean removal + window + one O(n) Goertzel per
+// scanned bin), kept in-tree as ReferenceElasticityDetector.  Same signal,
+// same binary, same flags.  Items = reports.
+template <typename Detector>
+void spectral_detector_workload(benchmark::State& state) {
+  constexpr int kReports = 256;
+  Detector det;
+  util::Rng rng(5);
+  std::size_t t = 0;
+  auto z_sample = [&] {
+    const double s =
+        12e6 +
+        6e6 * std::sin(2.0 * M_PI * 5.0 * static_cast<double>(t) / 100.0) +
+        rng.normal(0.0, 8e5);
+    ++t;
+    return s;
+  };
+  for (int i = 0; i < 600; ++i) det.add_sample(z_sample());
+  double sink = 0.0;
+  for (auto _ : state) {
+    for (int r = 0; r < kReports; ++r) {
+      det.add_sample(z_sample());
+      sink += det.evaluate(5.0).eta;
+      sink += det.evaluate(6.0).eta;
+      sink += det.magnitude_near(5.0);
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * kReports);
+}
+
+void BM_SpectralDetectorIncremental(benchmark::State& state) {
+  spectral_detector_workload<core::ElasticityDetector>(state);
+}
+BENCHMARK(BM_SpectralDetectorIncremental);
+
+void BM_SpectralDetectorReference(benchmark::State& state) {
+  spectral_detector_workload<core::ReferenceElasticityDetector>(state);
+}
+BENCHMARK(BM_SpectralDetectorReference);
 
 // --- event loop: current core vs seed baseline --------------------------
 

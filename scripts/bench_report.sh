@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Perf measurement layer (ISSUE 2, extended in ISSUE 3/4/5): runs the
-# event-loop, ACK-path, delivery-path, and end-to-end microbenchmarks and
+# Perf measurement layer (ISSUE 2, extended in ISSUE 3/4/5/6): runs the
+# event-loop, ACK-path, delivery-path, spectral-detector, and end-to-end
+# microbenchmarks, times the full strict-shape quick bench suite, and
 # emits a BENCH_*.json snapshot so every later PR can be compared against
 # this one.
 #
@@ -20,7 +21,7 @@
 #               host-independent.  Pairs marked gated are the structural
 #               rewrites, whose speedups dwarf measurement noise; parity
 #               pairs are reported but not gated.)
-#   output      defaults to BENCH_PR4.json in the repo root
+#   output      defaults to BENCH_PR6.json in the repo root
 #
 # The "before" numbers come from the same binary: bench_micro runs every
 # workload against a verbatim copy of the previous implementation
@@ -33,7 +34,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK=0
-OUT=BENCH_PR5.json
+OUT=BENCH_PR6.json
 COMPARE=""
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -64,7 +65,7 @@ trap 'rm -f "$MICRO_JSON"' EXIT
 
 echo "== bench_micro (min_time=${MIN_TIME}s, median of 3) =="
 "$MICRO" \
-  --benchmark_filter='EventLoop|Timer|SimulatedSecond|AckPath|Delivery|CcDispatch' \
+  --benchmark_filter='EventLoop|Timer|SimulatedSecond|AckPath|Delivery|CcDispatch|Spectral' \
   --benchmark_min_time="$MIN_TIME" \
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true \
@@ -88,8 +89,19 @@ if [ -x "$VARLINK" ]; then
   echo "bench_varlink quick: ${VARLINK_SECS}s"
 fi
 
+# Full strict-shape quick suite (all figure/table benches, bench_micro
+# excluded): the suite total is the "does the whole reproduction still run
+# fast" number the ROADMAP tracks, and strict shape checking makes this a
+# correctness gate at the same time (a WARNing bench fails the report).
+echo "== bench_suite quick mode (strict shape checks, total wall clock) =="
+SUITE_START=$(date +%s.%N)
+scripts/bench_suite.sh
+SUITE_END=$(date +%s.%N)
+SUITE_SECS=$(echo "$SUITE_END $SUITE_START" | awk '{printf "%.2f", $1 - $2}')
+echo "bench_suite quick total: ${SUITE_SECS}s"
+
 OUT="$OUT" MICRO_JSON="$MICRO_JSON" FIG08_SECS="$FIG08_SECS" QUICK="$QUICK" \
-VARLINK_SECS="$VARLINK_SECS" COMPARE="$COMPARE" \
+VARLINK_SECS="$VARLINK_SECS" SUITE_SECS="$SUITE_SECS" COMPARE="$COMPARE" \
 python3 - <<'EOF'
 import json
 import os
@@ -121,7 +133,7 @@ cubic = by_name.get("BM_SimulatedSecondCubic")
 scenario = by_name.get("BM_SimulatedSecondScenario")
 
 report = {
-    "pr": 5,
+    "pr": 6,
     "generated_by": "scripts/bench_report.sh"
                     + (" --quick" if os.environ["QUICK"] == "1" else ""),
     "host": micro.get("context", {}),
@@ -179,6 +191,17 @@ report = {
         "sealed_vs_virtual": pair("BM_CcDispatchSealed",
                                   "BM_CcDispatchVirtual", False),
     },
+    # New in PR 6: the per-report spectral path.  The incremental variant
+    # is the production ElasticityDetector (sliding-DFT engine: O(tracked
+    # bins) per z sample, O(1) per bin per eta query); the reference
+    # variant is the seed's from-scratch recompute (ring snapshot + mean
+    # removal + Hann + one O(n) Goertzel per scanned bin), kept in-tree as
+    # ReferenceElasticityDetector and compiled into the same binary.  The
+    # structural win is ~50x on the dev container — gated.
+    "spectral_microbench": {
+        "detector_report_path": pair("BM_SpectralDetectorIncremental",
+                                     "BM_SpectralDetectorReference", True),
+    },
     "ack_path_microbench": {
         "outstanding_ring": pair("BM_AckPathOutstandingRing",
                                  "BM_AckPathOutstandingMapLegacy", True),
@@ -204,6 +227,11 @@ report = {
         "bench_varlink_quick_wall_seconds":
             float(os.environ["VARLINK_SECS"])
             if os.environ.get("VARLINK_SECS") else None,
+        # Total wall clock of scripts/bench_suite.sh (every figure/table
+        # bench in quick mode under NIMBUS_SHAPE_STRICT=1).  New in PR 6.
+        "bench_suite_quick_total_wall_seconds":
+            float(os.environ["SUITE_SECS"])
+            if os.environ.get("SUITE_SECS") else None,
         # Seed commit (80dcab9) measured on the PR-2 dev container for
         # reference; host-specific, unlike the in-binary legacy numbers.
         "seed_baseline_dev_host": {
@@ -229,7 +257,7 @@ with open(out, "w") as f:
 def sections(rep):
     for s in ("event_loop_microbench", "event_core_vs_pr2",
               "ack_path_microbench", "delivery_byte_counter",
-              "cc_dispatch_measurement"):
+              "cc_dispatch_measurement", "spectral_microbench"):
         for name, p in rep.get(s, {}).items():
             if isinstance(p, dict) and "after_events_per_sec" in p:
                 yield f"{s}.{name}", p
@@ -239,7 +267,13 @@ ack = report["ack_path_microbench"]["outstanding_ring"]
 burst = report["event_core_vs_pr2"]["same_time_burst"]
 bc = report["delivery_byte_counter"]["bucketed_1ms"]
 cc = report["cc_dispatch_measurement"]["sealed_vs_virtual"]
+spec = report["spectral_microbench"]["detector_report_path"]
 print(f"wrote {out}")
+print(f"spectral detector reports/sec, sliding DFT vs recompute: "
+      f"{spec['before_events_per_sec']:.3g} -> "
+      f"{spec['after_events_per_sec']:.3g} ({spec.get('speedup', '?')}x)")
+print(f"bench_suite quick total wall: "
+      f"{report['end_to_end']['bench_suite_quick_total_wall_seconds']}s")
 print(f"ByteCounter adds/sec, 1ms buckets vs per-packet: "
       f"{bc['before_events_per_sec']:.3g} -> "
       f"{bc['after_events_per_sec']:.3g} ({bc.get('speedup', '?')}x)")
@@ -289,6 +323,11 @@ if baseline_path:
     if w_cur and w_prev:
         print(f"{'fig08 quick wall (s)':44} {w_prev:11.2f} {w_cur:11.2f}"
               f" {(w_cur / w_prev - 1.0) * 100.0:+7.1f}%")
+    s_cur = report["end_to_end"].get("bench_suite_quick_total_wall_seconds")
+    s_prev = e_prev.get("bench_suite_quick_total_wall_seconds")
+    if s_cur and s_prev:
+        print(f"{'bench_suite quick total wall (s)':44} {s_prev:11.2f}"
+              f" {s_cur:11.2f} {(s_cur / s_prev - 1.0) * 100.0:+7.1f}%")
 
     # The gate: same-run, same-binary pairs only.  A gated pair measures
     # the current implementation against the one it replaced inside one

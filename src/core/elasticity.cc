@@ -41,33 +41,42 @@ std::vector<double> SlidingSignal::snapshot() const {
   return out;
 }
 
-ElasticityDetector::ElasticityDetector() : ElasticityDetector(Config()) {}
+namespace {
 
-ElasticityDetector::ElasticityDetector(const Config& config)
-    : cfg_(config),
-      signal_(static_cast<std::size_t>(config.sample_rate_hz *
-                                       config.duration_sec)) {
-  NIMBUS_CHECK(cfg_.sample_rate_hz > 0 && cfg_.duration_sec > 0);
+std::size_t window_length(const DetectorConfig& cfg) {
+  return static_cast<std::size_t>(cfg.sample_rate_hz * cfg.duration_sec);
 }
 
-void ElasticityDetector::add_sample(double value) { signal_.add(value); }
+/// The bins evaluate(f) scans: numerator max(center-2, 1)..center+2,
+/// denominator frequency_bin(f+tol)..frequency_bin(2f).  Bin 0 is never
+/// *queried* (the numerator starts at 1 and the denominator's strict
+/// f > f_p + tol test rejects DC), so lo is clamped to 1.
+struct BinSpan {
+  std::size_t lo, hi;
+};
 
-const std::vector<double>& ElasticityDetector::windowed_snapshot() const {
-  signal_.copy_to(scratch_);
-  spectral::remove_mean(scratch_);
-  spectral::apply_window(scratch_, cfg_.window);
-  return scratch_;
+BinSpan evaluate_span(double f_hz, std::size_t n, double fs, double tol) {
+  const std::size_t center = spectral::frequency_bin(f_hz, n, fs);
+  const std::size_t num_lo = center > 2 ? center - 2 : 1;
+  const std::size_t num_hi = center + 2;
+  const std::size_t den_lo =
+      std::max<std::size_t>(spectral::frequency_bin(f_hz + tol, n, fs), 1);
+  const std::size_t den_hi = spectral::frequency_bin(2.0 * f_hz, n, fs);
+  return {std::min(num_lo, den_lo), std::max(num_hi, den_hi)};
 }
 
-ElasticityDetector::Result ElasticityDetector::evaluate(
-    double f_pulse_hz) const {
-  Result r;
-  if (!ready()) return r;
+/// Eq. (3) band scan over any per-bin magnitude source.  The scan shape —
+/// loop bounds, tolerance tests, tie-breaking by max — is shared verbatim
+/// by the reference recompute (mag = Goertzel over the windowed snapshot)
+/// and the incremental engine (mag = O(1) sliding-DFT band lookup), so the
+/// two paths can only differ in per-bin floating-point error, never in
+/// which bins they consider.
+template <typename MagFn>
+DetectorResult evaluate_band(const DetectorConfig& cfg, std::size_t n,
+                             double f_pulse_hz, MagFn&& mag) {
+  DetectorResult r;
   r.valid = true;
-
-  const std::vector<double>& x = windowed_snapshot();
-  const std::size_t n = x.size();
-  const double fs = cfg_.sample_rate_hz;
+  const double fs = cfg.sample_rate_hz;
   auto bin_freq = [&](std::size_t k) {
     return spectral::bin_frequency(k, n, fs);
   };
@@ -76,45 +85,157 @@ ElasticityDetector::Result ElasticityDetector::evaluate(
   const std::size_t center = spectral::frequency_bin(f_pulse_hz, n, fs);
   double num = 0.0;
   for (std::size_t k = (center > 2 ? center - 2 : 1); k <= center + 2; ++k) {
-    if (std::abs(bin_freq(k) - f_pulse_hz) <= cfg_.tolerance_hz + 1e-9) {
-      num = std::max(num, spectral::goertzel_magnitude(x, k));
+    if (std::abs(bin_freq(k) - f_pulse_hz) <= cfg.tolerance_hz + 1e-9) {
+      num = std::max(num, mag(k));
     }
   }
   r.pulse_magnitude = num;
 
   // Denominator: peak strictly inside (f_p + tol, 2 f_p).
   const std::size_t lo =
-      spectral::frequency_bin(f_pulse_hz + cfg_.tolerance_hz, n, fs);
+      spectral::frequency_bin(f_pulse_hz + cfg.tolerance_hz, n, fs);
   const std::size_t hi = spectral::frequency_bin(2.0 * f_pulse_hz, n, fs);
   double denom = 0.0;
-  for (std::size_t k = lo; k <= hi; ++k) {
+  for (std::size_t k = std::max<std::size_t>(lo, 1); k <= hi; ++k) {
     const double f = bin_freq(k);
-    if (f > f_pulse_hz + cfg_.tolerance_hz && f < 2.0 * f_pulse_hz) {
-      denom = std::max(denom, spectral::goertzel_magnitude(x, k));
+    if (f > f_pulse_hz + cfg.tolerance_hz && f < 2.0 * f_pulse_hz) {
+      denom = std::max(denom, mag(k));
     }
   }
 
   r.eta = denom > 0.0 ? num / denom : (num > 0.0 ? 1e9 : 0.0);
-  r.elastic = r.eta >= cfg_.eta_threshold;
+  r.elastic = r.eta >= cfg.eta_threshold;
   return r;
 }
 
-double ElasticityDetector::magnitude_near(double f_hz) const {
-  if (!ready()) return 0.0;
-  const std::vector<double>& x = windowed_snapshot();
-  const std::size_t n = x.size();
-  const std::size_t center =
-      spectral::frequency_bin(f_hz, n, cfg_.sample_rate_hz);
+template <typename MagFn>
+double magnitude_near_band(std::size_t n, double fs, double f_hz,
+                           MagFn&& mag) {
+  const std::size_t center = spectral::frequency_bin(f_hz, n, fs);
   double best = 0.0;
   for (std::size_t k = (center > 1 ? center - 1 : 1); k <= center + 1; ++k) {
-    best = std::max(best, spectral::goertzel_magnitude(x, k));
+    best = std::max(best, mag(k));
   }
   return best;
 }
 
-spectral::Spectrum ElasticityDetector::full_spectrum() const {
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ReferenceElasticityDetector: the recompute pipeline (executable spec).
+
+ReferenceElasticityDetector::ReferenceElasticityDetector()
+    : ReferenceElasticityDetector(Config()) {}
+
+ReferenceElasticityDetector::ReferenceElasticityDetector(const Config& config)
+    : cfg_(config), signal_(window_length(config)) {
+  NIMBUS_CHECK(cfg_.sample_rate_hz > 0 && cfg_.duration_sec > 0);
+}
+
+void ReferenceElasticityDetector::add_sample(double value) {
+  signal_.add(value);
+}
+
+const std::vector<double>& ReferenceElasticityDetector::windowed_snapshot()
+    const {
+  signal_.copy_to(scratch_);
+  spectral::remove_mean(scratch_);
+  if (window_.size() != scratch_.size()) {
+    window_ = spectral::make_window(cfg_.window, scratch_.size());
+  }
+  spectral::apply_window(scratch_, window_);
+  return scratch_;
+}
+
+ReferenceElasticityDetector::Result ReferenceElasticityDetector::evaluate(
+    double f_pulse_hz) const {
+  if (!ready()) return Result();
+  const std::vector<double>& x = windowed_snapshot();
+  return evaluate_band(cfg_, x.size(), f_pulse_hz, [&x](std::size_t k) {
+    return spectral::goertzel_magnitude(x, k);
+  });
+}
+
+double ReferenceElasticityDetector::magnitude_near(double f_hz) const {
+  if (!ready()) return 0.0;
+  const std::vector<double>& x = windowed_snapshot();
+  return magnitude_near_band(x.size(), cfg_.sample_rate_hz, f_hz,
+                             [&x](std::size_t k) {
+                               return spectral::goertzel_magnitude(x, k);
+                             });
+}
+
+spectral::Spectrum ReferenceElasticityDetector::full_spectrum() const {
   return spectral::analyze(signal_.snapshot(), cfg_.sample_rate_hz,
                            cfg_.window);
+}
+
+// ---------------------------------------------------------------------------
+// ElasticityDetector: incremental engine + reference fallback.
+
+ElasticityDetector::ElasticityDetector() : ElasticityDetector(Config()) {}
+
+ElasticityDetector::ElasticityDetector(const Config& config)
+    : cfg_(config), ref_(config) {
+  // The engine applies Hann as a 3-bin frequency-domain convolution, which
+  // is exact only for the periodic window; any other window type keeps the
+  // detector on the reference recompute.
+  if (cfg_.window != spectral::WindowType::kHannPeriodic) return;
+  const std::size_t n = window_length(cfg_);
+  std::size_t lo = n, hi = 0;
+  for (double f : cfg_.tracked_freqs_hz) {
+    if (f <= 0.0) continue;
+    const BinSpan s =
+        evaluate_span(f, n, cfg_.sample_rate_hz, cfg_.tolerance_hz);
+    lo = std::min(lo, s.lo);
+    hi = std::max(hi, s.hi);
+  }
+  if (lo > hi) return;  // no tracked frequencies
+  hi = std::min(hi, n - 1);
+  dft_ = std::make_unique<spectral::SlidingDft>(n, lo, hi);
+}
+
+void ElasticityDetector::add_sample(double value) {
+  ref_.add_sample(value);
+  if (dft_) dft_->add_sample(value);
+}
+
+void ElasticityDetector::reset() {
+  ref_.reset();
+  if (dft_) dft_->reset();
+}
+
+bool ElasticityDetector::engine_covers(std::size_t lo, std::size_t hi) const {
+  return dft_ && lo >= dft_->bin_lo() && hi <= dft_->bin_hi();
+}
+
+ElasticityDetector::Result ElasticityDetector::evaluate(
+    double f_pulse_hz) const {
+  if (!ready()) return Result();
+  const std::size_t n = window_samples();
+  const BinSpan s =
+      evaluate_span(f_pulse_hz, n, cfg_.sample_rate_hz, cfg_.tolerance_hz);
+  if (!engine_covers(s.lo, std::min(s.hi, n - 1))) {
+    return ref_.evaluate(f_pulse_hz);
+  }
+  const spectral::SlidingDft& dft = *dft_;
+  return evaluate_band(cfg_, n, f_pulse_hz, [&dft](std::size_t k) {
+    return dft.hann_magnitude(k);
+  });
+}
+
+double ElasticityDetector::magnitude_near(double f_hz) const {
+  if (!ready()) return 0.0;
+  const std::size_t n = window_samples();
+  const std::size_t center =
+      spectral::frequency_bin(f_hz, n, cfg_.sample_rate_hz);
+  const std::size_t lo = center > 1 ? center - 1 : 1;
+  if (!engine_covers(lo, center + 1)) return ref_.magnitude_near(f_hz);
+  const spectral::SlidingDft& dft = *dft_;
+  return magnitude_near_band(n, cfg_.sample_rate_hz, f_hz,
+                             [&dft](std::size_t k) {
+                               return dft.hann_magnitude(k);
+                             });
 }
 
 }  // namespace nimbus::core

@@ -13,14 +13,22 @@
 //
 // Implementation notes: with a 5 s window at 100 Hz, N = 500 and both pulse
 // frequencies (5 and 6 Hz) land on exact bins (25 and 30).  The band query
-// only needs ~26 bins, so eta is evaluated with Goertzel (O(bins*N)) rather
-// than a full FFT; full_spectrum() runs the Bluestein FFT for diagnostics
-// and figure reproduction.
+// only needs ~40 bins, and those bins are maintained *incrementally* by a
+// sliding DFT (spectral/sliding_dft.h): O(tracked_bins) per add_sample and
+// O(1) per bin per evaluate, instead of an O(n) snapshot plus one O(n)
+// Goertzel sweep per bin per report.  ReferenceElasticityDetector keeps
+// the recompute pipeline as the executable spec (equivalence-tested, and
+// the fallback for queries outside the tracked band or for non-periodic-
+// Hann window configs); full_spectrum() runs the Bluestein FFT for
+// diagnostics and figure reproduction.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <memory>
 #include <vector>
 
+#include "spectral/sliding_dft.h"
 #include "spectral/spectrum.h"
 #include "spectral/window.h"
 
@@ -57,34 +65,90 @@ class SlidingSignal {
   std::size_t size_ = 0;
 };
 
+struct DetectorConfig {
+  double sample_rate_hz = 100.0;  // one sample per 10 ms report
+  double duration_sec = 5.0;      // FFT window (paper: 5 s)
+  double eta_threshold = 2.0;     // paper section 3.4
+  /// Bins within this distance of f_p count toward the numerator peak
+  /// (windowing spreads an exact-bin tone into its neighbours).
+  double tolerance_hz = 0.25;
+  /// Periodic Hann admits the sliding-DFT engine (frequency-domain
+  /// windowing); any other type forces the reference recompute path.
+  spectral::WindowType window = spectral::WindowType::kHannPeriodic;
+  /// Pulse frequencies whose Eq.-3 bands the sliding DFT maintains
+  /// incrementally (both, because watchers evaluate f_pc *and* f_pd every
+  /// report).  evaluate()/magnitude_near() at other frequencies still
+  /// work, via the reference recompute.  <= 0 entries are ignored.
+  std::array<double, 2> tracked_freqs_hz = {5.0, 6.0};
+};
+
+struct DetectorResult {
+  double eta = 0.0;
+  bool elastic = false;
+  double pulse_magnitude = 0.0;  // |FFT| near f_p (for pulser conflict
+                                 // detection and diagnostics)
+  bool valid = false;            // window was full
+};
+
+/// The from-scratch spectral pipeline: snapshot the ring, remove the mean,
+/// apply the (cached) window, Goertzel each band bin.  O(bins * n) per
+/// evaluate — the executable specification the incremental engine is
+/// equivalence-tested against, and the fallback path for untracked
+/// queries.
+class ReferenceElasticityDetector {
+ public:
+  using Config = DetectorConfig;
+  using Result = DetectorResult;
+
+  ReferenceElasticityDetector();
+  explicit ReferenceElasticityDetector(const Config& config);
+
+  void add_sample(double value);
+  bool ready() const { return signal_.full(); }
+  std::size_t window_samples() const { return signal_.capacity(); }
+  void reset() { signal_.clear(); }
+
+  Result evaluate(double f_pulse_hz) const;
+  double magnitude_near(double f_hz) const;
+  spectral::Spectrum full_spectrum() const;
+
+  const Config& config() const { return cfg_; }
+  const SlidingSignal& signal() const { return signal_; }
+
+ private:
+  /// Fills scratch_ with the mean-removed, windowed signal and returns it.
+  const std::vector<double>& windowed_snapshot() const;
+
+  Config cfg_;
+  SlidingSignal signal_;
+  // Reused by every evaluate()/magnitude_near() call (the seed version
+  // allocated a fresh vector per call).
+  mutable std::vector<double> scratch_;
+  // Window coefficients cached per detector (make_window allocated a
+  // fresh vector on every apply_window call — ~100x/s per flow on what
+  // was advertised as the allocation-free path).
+  mutable std::vector<double> window_;
+};
+
+/// The production detector: add_sample feeds the sliding-DFT engine's
+/// tracked bands, and evaluate()/magnitude_near() at the tracked pulse
+/// frequencies are pure band-max lookups — zero copies, zero allocations,
+/// O(1) per bin.  Queries the engine cannot serve (untracked frequency,
+/// non-periodic-Hann window) transparently fall back to the reference
+/// recompute over the same sample window.
 class ElasticityDetector {
  public:
-  struct Config {
-    double sample_rate_hz = 100.0;  // one sample per 10 ms report
-    double duration_sec = 5.0;      // FFT window (paper: 5 s)
-    double eta_threshold = 2.0;     // paper section 3.4
-    /// Bins within this distance of f_p count toward the numerator peak
-    /// (windowing spreads an exact-bin tone into its neighbours).
-    double tolerance_hz = 0.25;
-    spectral::WindowType window = spectral::WindowType::kHann;
-  };
-
-  struct Result {
-    double eta = 0.0;
-    bool elastic = false;
-    double pulse_magnitude = 0.0;  // |FFT| near f_p (for pulser conflict
-                                   // detection and diagnostics)
-    bool valid = false;            // window was full
-  };
+  using Config = DetectorConfig;
+  using Result = DetectorResult;
 
   ElasticityDetector();
   explicit ElasticityDetector(const Config& config);
 
   /// Adds one z (or R) sample; call at the configured sample rate.
   void add_sample(double value);
-  bool ready() const { return signal_.full(); }
-  std::size_t window_samples() const { return signal_.capacity(); }
-  void reset() { signal_.clear(); }
+  bool ready() const { return ref_.ready(); }
+  std::size_t window_samples() const { return ref_.window_samples(); }
+  void reset();
 
   /// Evaluates Eq. (3) for a pulse at f_pulse_hz.
   Result evaluate(double f_pulse_hz) const;
@@ -94,19 +158,20 @@ class ElasticityDetector {
   double magnitude_near(double f_hz) const;
 
   /// Full magnitude spectrum of the current window (diagnostics, Fig. 5).
-  spectral::Spectrum full_spectrum() const;
+  spectral::Spectrum full_spectrum() const { return ref_.full_spectrum(); }
 
   const Config& config() const { return cfg_; }
 
+  /// The incremental engine, or nullptr when the config disables it
+  /// (introspection for tests and benches).
+  const spectral::SlidingDft* engine() const { return dft_.get(); }
+
  private:
-  /// Fills scratch_ with the mean-removed, windowed signal and returns it.
-  const std::vector<double>& windowed_snapshot() const;
+  bool engine_covers(std::size_t lo, std::size_t hi) const;
 
   Config cfg_;
-  SlidingSignal signal_;
-  // Reused by every evaluate()/magnitude_near() call (the detector runs
-  // each pulse period; the seed version allocated a fresh vector per call).
-  mutable std::vector<double> scratch_;
+  ReferenceElasticityDetector ref_;
+  std::unique_ptr<spectral::SlidingDft> dft_;
 };
 
 }  // namespace nimbus::core

@@ -14,6 +14,10 @@ ElasticityDetector::Config detector_config(const Nimbus::Config& cfg) {
   d.sample_rate_hz = cfg.sample_rate_hz;
   d.duration_sec = cfg.fft_duration_sec;
   d.eta_threshold = cfg.eta_threshold;
+  // Both pulse frequencies get incrementally maintained spectral bands:
+  // watchers evaluate f_pc and f_pd on every report, and a pulser's own
+  // frequency is always one of the two.
+  d.tracked_freqs_hz = {cfg.fp_competitive_hz, cfg.fp_delay_hz};
   return d;
 }
 

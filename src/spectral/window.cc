@@ -2,18 +2,25 @@
 
 #include <cmath>
 
+#include "util/check.h"
+
 namespace nimbus::spectral {
 
 std::vector<double> make_window(WindowType type, std::size_t n) {
   std::vector<double> w(n, 1.0);
   if (n <= 1 || type == WindowType::kRect) return w;
-  const double denom = static_cast<double>(n - 1);
+  // Periodic windows divide by n (the window is one period of a sequence
+  // whose DFT lands on exact bins); symmetric windows divide by n-1.
+  const double denom = type == WindowType::kHannPeriodic
+                           ? static_cast<double>(n)
+                           : static_cast<double>(n - 1);
   for (std::size_t i = 0; i < n; ++i) {
     const double x = static_cast<double>(i) / denom;
     switch (type) {
       case WindowType::kRect:
         break;
       case WindowType::kHann:
+      case WindowType::kHannPeriodic:
         w[i] = 0.5 - 0.5 * std::cos(2.0 * M_PI * x);
         break;
       case WindowType::kHamming:
@@ -30,7 +37,13 @@ std::vector<double> make_window(WindowType type, std::size_t n) {
 
 void apply_window(std::vector<double>& signal, WindowType type) {
   const auto w = make_window(type, signal.size());
-  for (std::size_t i = 0; i < signal.size(); ++i) signal[i] *= w[i];
+  apply_window(signal, w);
+}
+
+void apply_window(std::vector<double>& signal,
+                  const std::vector<double>& window) {
+  NIMBUS_CHECK(window.size() == signal.size());
+  for (std::size_t i = 0; i < signal.size(); ++i) signal[i] *= window[i];
 }
 
 void remove_mean(std::vector<double>& signal) {

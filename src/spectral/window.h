@@ -12,7 +12,11 @@ namespace nimbus::spectral {
 
 enum class WindowType {
   kRect,
-  kHann,
+  kHann,          // symmetric Hann (denominator n-1; endpoints both zero)
+  kHannPeriodic,  // periodic/DFT-even Hann (denominator n) — exactly three
+                  // complex exponentials at DFT bins -1/0/+1, so windowing
+                  // can be applied in the frequency domain as a 3-bin
+                  // convolution (the sliding-DFT engine's form)
   kHamming,
   kBlackman,
 };
@@ -22,6 +26,13 @@ std::vector<double> make_window(WindowType type, std::size_t n);
 
 /// Multiplies `signal` by the window in place.
 void apply_window(std::vector<double>& signal, WindowType type);
+
+/// Multiplies `signal` by precomputed coefficients in place (the cached-
+/// window form: make_window allocates, so per-call construction is banned
+/// on the detector's evaluate path).  `window` must have signal.size()
+/// entries.
+void apply_window(std::vector<double>& signal,
+                  const std::vector<double>& window);
 
 /// Removes the mean in place (the detector looks for AC components; the DC
 /// bin otherwise dominates the spectrum).

@@ -394,8 +394,11 @@ TEST(EventCoreTest, GoldenScenarioBitIdenticalToSeed) {
 
 // Multi-flow loss-heavy companion (ISSUE 3): random link loss plus three
 // cross flows exercise the ring transport's SACK holes, retransmissions,
-// and scoreboard growth under contention.  Values captured from the PR 2
-// build (std::map/std::set transport, deque rate sampler, map recorder).
+// and scoreboard growth under contention.  Values originally captured from
+// the PR 2 build (std::map/std::set transport, deque rate sampler, map
+// recorder); re-pinned in PR 6 when the detector switched from symmetric
+// to periodic Hann (the eta shift flips a few Nimbus mode decisions, which
+// changes the protagonist's trajectory in this contended scenario).
 TEST(EventCoreTest, GoldenLossHeavyScenarioBitIdenticalToPr2) {
   exp::ScenarioSpec spec;
   spec.name = "golden-lossy";
@@ -411,23 +414,23 @@ TEST(EventCoreTest, GoldenLossHeavyScenarioBitIdenticalToPr2) {
 
   exp::ScenarioRun run = exp::run_scenario(spec);
   auto& net = *run.built.net;
-  EXPECT_EQ(net.loop().processed_events(), 160796u);
-  EXPECT_EQ(net.recorder().delivered(1).total(), 41224500);
-  EXPECT_EQ(net.recorder().delivered(2).total(), 22624500);
-  EXPECT_EQ(net.recorder().delivered(3).total(), 15436500);
-  EXPECT_EQ(net.recorder().delivered(4).total(), 15250500);
-  EXPECT_EQ(net.recorder().total_drops(), 736u);
+  EXPECT_EQ(net.loop().processed_events(), 186158u);
+  EXPECT_EQ(net.recorder().delivered(1).total(), 55482000);
+  EXPECT_EQ(net.recorder().delivered(2).total(), 23115000);
+  EXPECT_EQ(net.recorder().delivered(3).total(), 12406500);
+  EXPECT_EQ(net.recorder().delivered(4).total(), 15246000);
+  EXPECT_EQ(net.recorder().total_drops(), 761u);
   EXPECT_EQ(
       net.recorder().probed_queue_delay().mean_in(0, spec.duration).value(),
-      5.0011255627813904);
+      7.7336168084042018);
   const auto buckets = net.recorder().rtt_samples(1).bucket_means(
       0, spec.duration, from_sec(5));
   ASSERT_EQ(buckets.size(), 4u);
   EXPECT_EQ(buckets[0], 53.134155924069844);
-  EXPECT_EQ(buckets[1], 45.74341808185892);
-  EXPECT_EQ(buckets[2], 45.701759984051506);
-  EXPECT_EQ(buckets[3], 40.661947481053737);
-  EXPECT_EQ(run.built.protagonist->lost_packets(), 192u);
+  EXPECT_EQ(buckets[1], 45.344368198615754);
+  EXPECT_EQ(buckets[2], 47.060538747584118);
+  EXPECT_EQ(buckets[3], 51.510750752522938);
+  EXPECT_EQ(run.built.protagonist->lost_packets(), 247u);
   EXPECT_EQ(run.built.protagonist->rto_count(), 0u);
 }
 

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/elasticity.h"
 #include "spectral/fft.h"
 #include "spectral/goertzel.h"
 #include "spectral/spectrum.h"
@@ -139,6 +140,21 @@ TEST_P(GoertzelBinTest, MatchesFftBin) {
 INSTANTIATE_TEST_SUITE_P(Bins, GoertzelBinTest,
                          ::testing::Values(0, 1, 10, 25, 30, 49, 100, 250));
 
+TEST(GoertzelTest, DcBinOfConstantSignal) {
+  // k = 0 degenerates to a plain sum: X_0 = n * c, so |X_0|/n = c.
+  std::vector<double> x(500, 3.25);
+  EXPECT_NEAR(goertzel_magnitude(x, 0), 3.25, 1e-12);
+}
+
+TEST(GoertzelTest, NyquistBinOfAlternatingSignal) {
+  // k = n/2 has cos(pi k) = -1, the other degenerate Goertzel coefficient:
+  // x[j] = (-1)^j puts all its energy there, X_{n/2} = n, magnitude 1.
+  std::vector<double> x(500);
+  for (std::size_t j = 0; j < x.size(); ++j) x[j] = j % 2 == 0 ? 1.0 : -1.0;
+  EXPECT_NEAR(goertzel_magnitude(x, 250), 1.0, 1e-9);
+  EXPECT_NEAR(goertzel_magnitude(x, 25), 0.0, 1e-9);
+}
+
 TEST(GoertzelTest, AtFrequency) {
   std::vector<double> x(500);
   for (std::size_t i = 0; i < x.size(); ++i) {
@@ -189,6 +205,43 @@ TEST(WindowTest, HannReducesLeakage) {
   const auto hann_mags = magnitude_spectrum(hann);
   // Compare leakage at 8 Hz (bin 40), far from the tone.
   EXPECT_LT(hann_mags[40], rect_mags[40]);
+}
+
+TEST(WindowTest, PeriodicHannIsThreeExponentials) {
+  // The periodic Hann window is exactly w[j] = 0.5 - 0.25 e^{2*pi*i*j/n}
+  // - 0.25 e^{-2*pi*i*j/n} — the identity that lets the sliding-DFT
+  // engine apply it as a 3-bin frequency-domain convolution.
+  const std::size_t n = 500;
+  const auto w = make_window(WindowType::kHannPeriodic, n);
+  double hann_sum = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double ang = 2.0 * M_PI * static_cast<double>(j) /
+                       static_cast<double>(n);
+    EXPECT_NEAR(w[j], 0.5 - 0.5 * std::cos(ang), 1e-15);
+    hann_sum += w[j];
+  }
+  // The cosine sums to zero over one full period, so sum(w) = n/2 exactly.
+  EXPECT_NEAR(hann_sum, static_cast<double>(n) / 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(w[0], 0.0);
+  // Periodic (denominator n): the last tap is NOT zero — conceptually the
+  // window wraps, with the missing zero at index n.  The symmetric Hann
+  // (denominator n-1) ends on an explicit zero instead.
+  EXPECT_GT(w[n - 1], 0.0);
+  const auto sym = make_window(WindowType::kHann, n);
+  EXPECT_DOUBLE_EQ(sym[n - 1], 0.0);
+  // The two differ by O(1/n) per tap.
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(w[j], sym[j], 2.0 * M_PI / static_cast<double>(n));
+  }
+}
+
+TEST(WindowTest, PrecomputedOverloadMatchesTypeOverload) {
+  util::Rng rng(17);
+  std::vector<double> a(256), b(256);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = b[i] = rng.uniform(-1, 1);
+  apply_window(a, WindowType::kBlackman);
+  apply_window(b, make_window(WindowType::kBlackman, b.size()));
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
 }
 
 TEST(WindowTest, RemoveMean) {
@@ -257,6 +310,42 @@ TEST(ElasticityEtaTest, HarmonicsOfAsymmetricPulseIgnored) {
   }
   const auto spec = analyze(x, 100.0);
   EXPECT_GT(elasticity_eta(spec, 5.0), 3.0);
+}
+
+// --- detector band scan at the spectrum edge ---
+
+TEST(ElasticityEtaTest, NumeratorScanAcrossNyquistDoesNotCrash) {
+  // frequency_bin clamps to n/2, so a pulse near the Nyquist frequency
+  // (49.9 Hz at fs=100) centers the numerator scan at bin 250 and walks it
+  // to center+2 = 252 — past n/2 but still a valid DFT bin.  The tolerance
+  // filter keeps only bins 249 (49.8 Hz) and 250 (50.0 Hz); the
+  // denominator band (f+tol, 2f) is empty after clamping, so a tone at
+  // the pulse frequency yields the sentinel eta = 1e9.
+  core::DetectorConfig cfg;
+  cfg.tracked_freqs_hz = {49.9, 0.0};  // engine path walks the same bins
+  core::ElasticityDetector engine(cfg);
+  core::ReferenceElasticityDetector reference(cfg);
+  util::Rng rng(23);
+  const std::size_t n = engine.window_samples();
+  ASSERT_EQ(n, 500u);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v =
+        std::sin(2.0 * M_PI * 49.8 * static_cast<double>(i) / 100.0) +
+        rng.normal(0.0, 0.01);
+    engine.add_sample(v);
+    reference.add_sample(v);
+  }
+  ASSERT_NE(engine.engine(), nullptr);
+  EXPECT_GE(engine.engine()->bin_hi(), 252u);
+  const auto re = engine.evaluate(49.9);
+  const auto rr = reference.evaluate(49.9);
+  ASSERT_TRUE(re.valid);
+  ASSERT_TRUE(rr.valid);
+  EXPECT_GT(re.pulse_magnitude, 0.1);
+  EXPECT_NEAR(re.pulse_magnitude, rr.pulse_magnitude,
+              1e-9 * (1.0 + rr.pulse_magnitude));
+  EXPECT_DOUBLE_EQ(re.eta, 1e9);
+  EXPECT_DOUBLE_EQ(rr.eta, 1e9);
 }
 
 }  // namespace
