@@ -67,6 +67,16 @@ double xcorr_detector(const exp::ScenarioSpec& spec) {
 }
 
 // --- 4: rate reset ---
+// The reset looks back one FFT duration (5 s) from the mode switch, so it
+// only matters when the delay-mode collapse is *younger* than 5 s at
+// detection time.  A 50 ms cubic cross collapses the protagonist within
+// ~1 s of onset while detection lands ~6 s after it — the lookback saw
+// the already-collapsed rate and the two arms were identical (the old
+// shape check compared a no-op against itself).  A slow-ramping 800 ms
+// cubic cross delays the collapse to ~5 s after onset (t=15), detection
+// fires at t=18.6, and the lookback (t=13.6) still sees the full ~95
+// Mbit/s — the reset arm rejoins the fight immediately while the
+// no-reset arm rebuilds from the collapsed rate.
 exp::ScenarioSpec reset_spec(bool enable_reset, TimeNs duration) {
   exp::ScenarioSpec spec;
   spec.name = enable_reset ? "ablation/reset/on" : "ablation/reset/off";
@@ -74,7 +84,9 @@ exp::ScenarioSpec reset_spec(bool enable_reset, TimeNs duration) {
   spec.duration = duration;
   spec.protagonist.use_nimbus_config = true;
   spec.protagonist.nimbus.enable_rate_reset = enable_reset;
-  spec.cross.push_back(exp::CrossSpec::flow("cubic", 2, from_sec(10)));
+  exp::CrossSpec c = exp::CrossSpec::flow("cubic", 2, from_sec(10));
+  c.rtt = from_ms(800);
+  spec.cross.push_back(c);
   return spec;
 }
 
@@ -124,17 +136,17 @@ int main() {
     fft_specs.push_back(exp::accuracy_scenario(
         "poisson", 96e6, from_ms(50), from_ms(50), 0.5, duration, 64, cfg));
   }
-  const auto accs = exp::run_scenarios<double>(
+  const auto accs = exp::run_scenarios_cached(
       fft_specs, [&](const exp::ScenarioSpec& s, exp::ScenarioRun& run) {
-        return exp::score_accuracy(run, s,
-                                   exp::accuracy_cross_is_elastic("poisson"));
+        return exp::CellResult::scalar(exp::score_accuracy(
+            run, s, exp::accuracy_cross_is_elastic("poisson")));
       });
   double best = 0, at1s = 0;
   for (std::size_t i = 0; i < fft_secs.size(); ++i) {
     row("ablation", "fft_duration," + util::format_num(fft_secs[i]),
-        {accs[i]});
-    best = std::max(best, accs[i]);
-    if (fft_secs[i] == 1.0) at1s = accs[i];
+        {accs[i].value()});
+    best = std::max(best, accs[i].value());
+    if (fft_secs[i] == 1.0) at1s = accs[i].value();
   }
   shape_check("ablation_fftdur", best >= at1s,
               "very short FFT windows do not beat the 5 s default");
@@ -142,19 +154,25 @@ int main() {
   // 4. Rate reset on switching to competitive.
   const std::vector<exp::ScenarioSpec> reset_specs = {
       reset_spec(true, duration), reset_spec(false, duration)};
-  const auto recovery = exp::run_scenarios<double>(
+  const auto recovery = exp::run_scenarios_cached(
       reset_specs, [](const exp::ScenarioSpec&, exp::ScenarioRun& run) {
-        // Throughput in the window right after detection should fire.
-        return run.built.net->recorder()
-                   .delivered(1)
-                   .rate_bps(from_sec(18), from_sec(30)) /
-               1e6;
+        // Throughput in the fixed window right after detection (~18.6 s)
+        // — where the reset's effect lives; it is transient, so the
+        // window must not stretch with the full-mode duration.
+        return exp::CellResult::scalar(run.built.net->recorder()
+                                           .delivered(1)
+                                           .rate_bps(from_sec(18),
+                                                     from_sec(30)) /
+                                       1e6);
       });
-  const double with_reset = recovery[0];
-  const double without = recovery[1];
+  const double with_reset = recovery[0].value();
+  const double without = recovery[1].value();
   row("ablation", "rate_reset,with", {with_reset});
   row("ablation", "rate_reset,without", {without});
-  shape_check("ablation_reset", with_reset > 0.5 * without,
-              "rate reset never cripples the post-switch throughput");
+  // Measured 71.7 vs 54.9 Mbit/s (1.31x): the reset arm must clearly
+  // beat the no-reset arm, not merely avoid crippling it.
+  shape_check("ablation_reset", with_reset > 1.15 * without,
+              "rate reset recovers post-switch throughput the no-reset "
+              "arm leaves on the table");
   return shape_exit_code();
 }

@@ -42,8 +42,9 @@ exp::ScenarioSpec copa_spec(const std::string& cross_kind,
 
 // Both protagonist kinds produce a mode log; the cell's ground truth
 // (elastic cross present) is derived from the spec.
-double collect(const exp::ScenarioSpec& spec, exp::ScenarioRun& run) {
-  return exp::score_accuracy(run, spec);
+exp::CellResult collect(const exp::ScenarioSpec& spec,
+                        exp::ScenarioRun& run) {
+  return exp::CellResult::scalar(exp::score_accuracy(run, spec));
 }
 
 }  // namespace
@@ -90,9 +91,10 @@ int main() {
   double nim_hi = 0, copa_hi = 0;
   double nim_r4 = 0, copa_r4 = 0;
   double nim_pending = 0;
-  exp::run_scenarios<double>(
+  exp::run_scenarios_cached(
       specs, collect, {},
-      [&](std::size_t i, double& acc) {
+      [&](std::size_t i, exp::CellResult& r) {
+        const double acc = r.value();
         if (i % 2 == 0) {
           nim_pending = acc;
           return;

@@ -13,9 +13,10 @@ using namespace nimbus::bench;
 
 namespace {
 
-double collect(const exp::ScenarioSpec& spec, exp::ScenarioRun& run) {
+exp::CellResult collect(const exp::ScenarioSpec& spec,
+                        exp::ScenarioRun& run) {
   // Ground truth (elastic cross present) is derived from the spec.
-  return exp::score_accuracy(run, spec);
+  return exp::CellResult::scalar(exp::score_accuracy(run, spec));
 }
 
 }  // namespace
@@ -70,10 +71,10 @@ int main() {
   double worst_pure = 1.0, worst_mix = 1.0;
   std::vector<double> cell;  // kReps accuracies of the current cell
   std::vector<double> trio;  // per-cell means of the current ratio
-  exp::run_scenarios<double>(
+  exp::run_scenarios_cached(
       specs, collect, {},
-      [&](std::size_t i, double& acc) {
-        cell.push_back(acc);
+      [&](std::size_t i, exp::CellResult& acc) {
+        cell.push_back(acc.value());
         if (cell.size() < static_cast<std::size_t>(kReps)) return;
         double mean = 0;
         for (double a : cell) mean += a;

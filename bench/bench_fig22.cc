@@ -41,15 +41,17 @@ int main() {
 
   bool tracks = true;
   double nim_pending = 0;
-  exp::run_scenarios<double>(
+  exp::run_scenarios_cached(
       specs,
       [](const exp::ScenarioSpec& spec, exp::ScenarioRun& run) {
-        return run.built.net->recorder().delivered(1).rate_bps(
-                   from_sec(20), spec.duration) /
-               1e6;
+        return exp::CellResult::scalar(
+            run.built.net->recorder().delivered(1).rate_bps(
+                from_sec(20), spec.duration) /
+            1e6);
       },
       {},
-      [&](std::size_t i, double& rate) {
+      [&](std::size_t i, exp::CellResult& r) {
+        const double rate = r.value();
         if (i % 2 == 0) {
           nim_pending = rate;
           return;

@@ -18,6 +18,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <filesystem>
 #include <map>
 #include <set>
 
@@ -25,6 +26,7 @@
 #include "cc/reno.h"
 #include "cc/vegas.h"
 #include "core/elasticity.h"
+#include "exp/runner.h"
 #include "exp/scenario.h"
 #include "legacy_event_loop.h"
 #include "pr2_event_loop.h"
@@ -705,6 +707,80 @@ void BM_CcDispatchVirtual(benchmark::State& state) {
   cc_dispatch_workload<false>(state);
 }
 BENCHMARK(BM_CcDispatchVirtual);
+
+// --- sweep cells: warm disk cache vs cold compute -----------------------
+
+// The PR 7 content-addressed sweep engine: a cell that is in the result
+// cache costs one small-file read + checksum instead of a network build
+// and event-loop run.  Cold runs the real simulation (cache off); warm
+// serves the identical cells from a pre-populated cache directory.  Both
+// run the same run_scenarios_cached entry point single-threaded, so the
+// ratio is the per-cell memoisation speedup the suite-level wall-clock
+// numbers in BENCH_PR7.json are built from.  Items = sweep cells.
+std::vector<exp::ScenarioSpec> sweep_cell_specs() {
+  std::vector<exp::ScenarioSpec> specs;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    exp::ScenarioSpec spec;
+    spec.name = "bench/sweep-cell";
+    spec.mu_bps = 96e6;
+    spec.duration = from_sec(2);
+    spec.protagonist.use_nimbus_config = true;
+    spec.cross.push_back(exp::CrossSpec::poisson(24e6, 2));
+    spec.cross.push_back(exp::CrossSpec::flow("cubic", 3));
+    specs.push_back(spec.with_seed(exp::derive_seed(31, i)));
+  }
+  return specs;
+}
+
+exp::CellResult sweep_cell_collect(const exp::ScenarioSpec& spec,
+                                   exp::ScenarioRun& run) {
+  return exp::CellResult::scalar(
+      run.built.net->recorder().delivered(1).rate_bps(from_sec(1),
+                                                      spec.duration));
+}
+
+void BM_SweepCellWarmCache(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const auto specs = sweep_cell_specs();
+  const fs::path dir =
+      fs::temp_directory_path() / "nimbus-bench-sweep-cache";
+  fs::remove_all(dir);
+  const exp::ShardConfig no_shard;
+  {
+    exp::ResultCache warmup(dir.string(), exp::ResultCache::Mode::kReadWrite);
+    exp::run_scenarios_cached(specs, sweep_cell_collect, {/*jobs=*/1, false},
+                              nullptr, &warmup, &no_shard);
+  }
+  exp::ResultCache cache(dir.string(), exp::ResultCache::Mode::kRead);
+  for (auto _ : state) {
+    const auto cells = exp::run_scenarios_cached(
+        specs, sweep_cell_collect, {/*jobs=*/1, false}, nullptr, &cache,
+        &no_shard);
+    benchmark::DoNotOptimize(cells);
+  }
+  if (cache.stats().misses > 0) {
+    state.SkipWithError("warm cache missed; measurement invalid");
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(specs.size()));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_SweepCellWarmCache);
+
+void BM_SweepCellColdCompute(benchmark::State& state) {
+  const auto specs = sweep_cell_specs();
+  exp::ResultCache off("", exp::ResultCache::Mode::kOff);
+  const exp::ShardConfig no_shard;
+  for (auto _ : state) {
+    const auto cells = exp::run_scenarios_cached(
+        specs, sweep_cell_collect, {/*jobs=*/1, false}, nullptr, &off,
+        &no_shard);
+    benchmark::DoNotOptimize(cells);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(specs.size()));
+}
+BENCHMARK(BM_SweepCellColdCompute)->Unit(benchmark::kMillisecond);
 
 // --- queue disc ---------------------------------------------------------
 

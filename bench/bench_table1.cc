@@ -72,22 +72,23 @@ int main() {
   for (const auto& s : specs) {
     scenario_specs.push_back(make_spec(s.klass, duration));
   }
-  const auto fractions = exp::run_scenarios<double>(
+  const auto fractions = exp::run_scenarios_cached(
       scenario_specs,
       [&](const exp::ScenarioSpec&, exp::ScenarioRun& run) {
-        return run.mode_log->fraction_competitive(from_sec(10), duration);
+        return exp::CellResult::scalar(
+            run.mode_log->fraction_competitive(from_sec(10), duration));
       },
       {},
-      [&](std::size_t i, double& frac) {
+      [&](std::size_t i, exp::CellResult& frac) {
         std::printf("table1,%s,%s,%s\n", specs[i].klass, specs[i].expected,
-                    util::format_num(frac).c_str());
+                    util::format_num(frac.value()).c_str());
       });
 
   bool all_strict_ok = true;
   for (std::size_t i = 0; i < std::size(specs); ++i) {
     if (specs[i].strict) {
-      const bool ok = specs[i].expect_elastic ? fractions[i] > 0.5
-                                              : fractions[i] < 0.5;
+      const bool ok = specs[i].expect_elastic ? fractions[i].value() > 0.5
+                                              : fractions[i].value() < 0.5;
       if (!ok) all_strict_ok = false;
     }
   }

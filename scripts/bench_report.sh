@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Perf measurement layer (ISSUE 2, extended in ISSUE 3/4/5/6): runs the
-# event-loop, ACK-path, delivery-path, spectral-detector, and end-to-end
-# microbenchmarks, times the full strict-shape quick bench suite, and
+# Perf measurement layer (ISSUE 2, extended in ISSUE 3/4/5/6/7): runs the
+# event-loop, ACK-path, delivery-path, spectral-detector, sweep-cache, and
+# end-to-end microbenchmarks, times the full strict-shape quick bench
+# suite cold (NIMBUS_CACHE=off) and warm (result cache pre-populated), and
 # emits a BENCH_*.json snapshot so every later PR can be compared against
 # this one.
 #
@@ -21,7 +22,7 @@
 #               host-independent.  Pairs marked gated are the structural
 #               rewrites, whose speedups dwarf measurement noise; parity
 #               pairs are reported but not gated.)
-#   output      defaults to BENCH_PR6.json in the repo root
+#   output      defaults to BENCH_PR7.json in the repo root
 #
 # The "before" numbers come from the same binary: bench_micro runs every
 # workload against a verbatim copy of the previous implementation
@@ -34,7 +35,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK=0
-OUT=BENCH_PR6.json
+OUT=BENCH_PR7.json
 COMPARE=""
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -65,15 +66,19 @@ trap 'rm -f "$MICRO_JSON"' EXIT
 
 echo "== bench_micro (min_time=${MIN_TIME}s, median of 3) =="
 "$MICRO" \
-  --benchmark_filter='EventLoop|Timer|SimulatedSecond|AckPath|Delivery|CcDispatch|Spectral' \
+  --benchmark_filter='EventLoop|Timer|SimulatedSecond|AckPath|Delivery|CcDispatch|Spectral|SweepCell' \
   --benchmark_min_time="$MIN_TIME" \
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true \
   --benchmark_format=json > "$MICRO_JSON"
 
+# All wall-clock timing passes pin NIMBUS_CACHE=off (and no sharding):
+# the report's cold numbers must measure the simulator, not whatever
+# result cache the environment happens to carry.  The warm suite pass
+# below opts back in explicitly.
 echo "== bench_fig08 quick mode (wall clock) =="
 FIG08_START=$(date +%s.%N)
-"$FIG08" > /dev/null
+NIMBUS_CACHE=off NIMBUS_SHARD= "$FIG08" > /dev/null
 FIG08_END=$(date +%s.%N)
 FIG08_SECS=$(echo "$FIG08_END $FIG08_START" | awk '{printf "%.2f", $1 - $2}')
 echo "bench_fig08 quick: ${FIG08_SECS}s"
@@ -83,7 +88,7 @@ VARLINK_SECS=""
 if [ -x "$VARLINK" ]; then
   echo "== bench_varlink quick mode (wall clock) =="
   VARLINK_START=$(date +%s.%N)
-  "$VARLINK" > /dev/null
+  NIMBUS_CACHE=off NIMBUS_SHARD= "$VARLINK" > /dev/null
   VARLINK_END=$(date +%s.%N)
   VARLINK_SECS=$(echo "$VARLINK_END $VARLINK_START" | awk '{printf "%.2f", $1 - $2}')
   echo "bench_varlink quick: ${VARLINK_SECS}s"
@@ -93,15 +98,38 @@ fi
 # excluded): the suite total is the "does the whole reproduction still run
 # fast" number the ROADMAP tracks, and strict shape checking makes this a
 # correctness gate at the same time (a WARNing bench fails the report).
-echo "== bench_suite quick mode (strict shape checks, total wall clock) =="
+echo "== bench_suite quick mode (strict shape checks, cold, total wall clock) =="
 SUITE_START=$(date +%s.%N)
-scripts/bench_suite.sh
+NIMBUS_CACHE=off NIMBUS_SHARD= scripts/bench_suite.sh
 SUITE_END=$(date +%s.%N)
 SUITE_SECS=$(echo "$SUITE_END $SUITE_START" | awk '{printf "%.2f", $1 - $2}')
-echo "bench_suite quick total: ${SUITE_SECS}s"
+echo "bench_suite quick total (cold): ${SUITE_SECS}s"
+
+# Warm pass (PR 7): populate a fresh result cache, then time the suite
+# again served from it.  Informational — the warm wall and hit rate land
+# in end_to_end but are not gated here (the gated warm-vs-cold pair is the
+# in-binary BM_SweepCell pair above; CI additionally diffs cold-vs-warm
+# stdout byte-for-byte).
+CACHE_DIR=$(mktemp -d)
+WARM_LOG=$(mktemp)
+trap 'rm -f "$MICRO_JSON" "$WARM_LOG"; rm -rf "$CACHE_DIR"' EXIT
+echo "== bench_suite warm pass (populate + reread from result cache) =="
+NIMBUS_CACHE=readwrite NIMBUS_CACHE_DIR="$CACHE_DIR" NIMBUS_SHARD= \
+  scripts/bench_suite.sh > /dev/null
+WARM_START=$(date +%s.%N)
+NIMBUS_CACHE=read NIMBUS_CACHE_DIR="$CACHE_DIR" NIMBUS_SHARD= \
+  scripts/bench_suite.sh > "$WARM_LOG"
+WARM_END=$(date +%s.%N)
+WARM_SECS=$(echo "$WARM_END $WARM_START" | awk '{printf "%.2f", $1 - $2}')
+# Aggregate hit rate across the suite from the surfaced per-bench
+# "cache <bench> nimbus-cache: ... hits=H misses=M ..." rows.
+HIT_RATE=$(grep -o 'hits=[0-9]* misses=[0-9]*' "$WARM_LOG" | awk -F'[= ]' \
+  '{h += $2; m += $4} END {if (h + m > 0) printf "%.4f", h / (h + m)}')
+echo "bench_suite quick total (warm): ${WARM_SECS}s (hit rate ${HIT_RATE:-n/a})"
 
 OUT="$OUT" MICRO_JSON="$MICRO_JSON" FIG08_SECS="$FIG08_SECS" QUICK="$QUICK" \
 VARLINK_SECS="$VARLINK_SECS" SUITE_SECS="$SUITE_SECS" COMPARE="$COMPARE" \
+WARM_SECS="$WARM_SECS" HIT_RATE="$HIT_RATE" \
 python3 - <<'EOF'
 import json
 import os
@@ -118,13 +146,17 @@ def items_per_sec(name):
     b = by_name.get(name)
     return b["items_per_second"] if b else None
 
-def pair(current, legacy, gated):
-    """gated pairs fail --compare when speedup < 0.9 (new code >10% slower
-    than the implementation it replaced, same binary, same run)."""
+def pair(current, legacy, gated, min_speedup=0.90):
+    """gated pairs fail --compare when speedup < min_speedup.  The default
+    0.90 catches the new code being >10% slower than the implementation it
+    replaced (same binary, same run); pairs whose whole point is a large
+    structural win (e.g. the warm result cache) set a higher floor."""
     after = items_per_sec(current)
     before = items_per_sec(legacy)
     out = {"before_events_per_sec": before, "after_events_per_sec": after,
            "gated": gated}
+    if gated and min_speedup != 0.90:
+        out["min_speedup"] = min_speedup
     if before and after:
         out["speedup"] = round(after / before, 2)
     return out
@@ -133,7 +165,7 @@ cubic = by_name.get("BM_SimulatedSecondCubic")
 scenario = by_name.get("BM_SimulatedSecondScenario")
 
 report = {
-    "pr": 6,
+    "pr": 7,
     "generated_by": "scripts/bench_report.sh"
                     + (" --quick" if os.environ["QUICK"] == "1" else ""),
     "host": micro.get("context", {}),
@@ -202,6 +234,17 @@ report = {
         "detector_report_path": pair("BM_SpectralDetectorIncremental",
                                      "BM_SpectralDetectorReference", True),
     },
+    # New in PR 7: the content-addressed sweep cache.  Warm = the same
+    # 4-cell scored grid served from a pre-populated on-disk result cache
+    # (parse + checksum + CellResult decode per cell); cold = full
+    # simulation of each cell, same binary, same process.  ISSUE 7 gates
+    # this at >= 5x — the measured ratio on the dev container is ~250x, so
+    # the floor only trips if the cache path breaks (e.g. silent misses
+    # falling through to simulation).
+    "sweep_cache_microbench": {
+        "warm_vs_cold_cell": pair("BM_SweepCellWarmCache",
+                                  "BM_SweepCellColdCompute", True, 5.0),
+    },
     "ack_path_microbench": {
         "outstanding_ring": pair("BM_AckPathOutstandingRing",
                                  "BM_AckPathOutstandingMapLegacy", True),
@@ -232,6 +275,18 @@ report = {
         "bench_suite_quick_total_wall_seconds":
             float(os.environ["SUITE_SECS"])
             if os.environ.get("SUITE_SECS") else None,
+        # PR 7, informational: the same suite re-run from a result cache
+        # populated moments earlier (NIMBUS_CACHE=read), and the aggregate
+        # cache hit rate over the converted benches during that run.
+        # Benches not yet converted to run_scenarios_cached (and the
+        # non-sweep part of every bench: building, printing, CDF math)
+        # bound the warm wall from below.
+        "bench_suite_quick_warm_wall_seconds":
+            float(os.environ["WARM_SECS"])
+            if os.environ.get("WARM_SECS") else None,
+        "bench_suite_warm_cache_hit_rate":
+            float(os.environ["HIT_RATE"])
+            if os.environ.get("HIT_RATE") else None,
         # Seed commit (80dcab9) measured on the PR-2 dev container for
         # reference; host-specific, unlike the in-binary legacy numbers.
         "seed_baseline_dev_host": {
@@ -257,7 +312,8 @@ with open(out, "w") as f:
 def sections(rep):
     for s in ("event_loop_microbench", "event_core_vs_pr2",
               "ack_path_microbench", "delivery_byte_counter",
-              "cc_dispatch_measurement", "spectral_microbench"):
+              "cc_dispatch_measurement", "spectral_microbench",
+              "sweep_cache_microbench"):
         for name, p in rep.get(s, {}).items():
             if isinstance(p, dict) and "after_events_per_sec" in p:
                 yield f"{s}.{name}", p
@@ -268,12 +324,20 @@ burst = report["event_core_vs_pr2"]["same_time_burst"]
 bc = report["delivery_byte_counter"]["bucketed_1ms"]
 cc = report["cc_dispatch_measurement"]["sealed_vs_virtual"]
 spec = report["spectral_microbench"]["detector_report_path"]
+sweep = report["sweep_cache_microbench"]["warm_vs_cold_cell"]
 print(f"wrote {out}")
+print(f"sweep cells/sec, warm cache vs cold compute: "
+      f"{sweep['before_events_per_sec']:.3g} -> "
+      f"{sweep['after_events_per_sec']:.3g} ({sweep.get('speedup', '?')}x, "
+      f"gate >= {sweep.get('min_speedup')}x)")
 print(f"spectral detector reports/sec, sliding DFT vs recompute: "
       f"{spec['before_events_per_sec']:.3g} -> "
       f"{spec['after_events_per_sec']:.3g} ({spec.get('speedup', '?')}x)")
+e2e = report["end_to_end"]
 print(f"bench_suite quick total wall: "
-      f"{report['end_to_end']['bench_suite_quick_total_wall_seconds']}s")
+      f"cold {e2e['bench_suite_quick_total_wall_seconds']}s, "
+      f"warm {e2e['bench_suite_quick_warm_wall_seconds']}s "
+      f"(hit rate {e2e['bench_suite_warm_cache_hit_rate']})")
 print(f"ByteCounter adds/sec, 1ms buckets vs per-packet: "
       f"{bc['before_events_per_sec']:.3g} -> "
       f"{bc['after_events_per_sec']:.3g} ({bc.get('speedup', '?')}x)")
@@ -335,15 +399,16 @@ if baseline_path:
     # regardless of which physical host this run landed on.
     failures = []
     for name, p in cur.items():
+        floor = p.get("min_speedup", 0.90)
         if p.get("gated") and p.get("speedup") is not None \
-                and p["speedup"] < 0.90:
+                and p["speedup"] < floor:
             failures.append(
                 f"{name}: {p['speedup']}x vs the in-binary previous "
-                f"implementation (>10% regression)")
+                f"implementation (floor {floor}x)")
     if failures:
         print("\nREGRESSIONS:")
         for f_ in failures:
             print(f"  {f_}")
         sys.exit(1)
-    print("\ngate: no gated pair >10% slower than its in-binary baseline")
+    print("\ngate: every gated pair above its in-binary speedup floor")
 EOF

@@ -6,9 +6,39 @@
 # google-benchmark perf harness) is excluded — scripts/bench_report.sh owns
 # it.
 #
-# Usage: scripts/bench_suite.sh [bench...]   (default: all build/bench/*)
+# Usage: scripts/bench_suite.sh [--shard k/n] [bench...]
+#        (default: all build/bench/*)
+#
+#   --shard k/n   export NIMBUS_SHARD=k/n: each bench computes only its
+#                 shard's cells; out-of-shard cells are served from the
+#                 result cache when present and otherwise SKIP their shape
+#                 checks (see exp/result_cache.h).  Pair with
+#                 NIMBUS_CACHE=readwrite + a shared NIMBUS_CACHE_DIR to
+#                 fan the suite out across processes/CI jobs.
+#
+# Environment:
+#   NIMBUS_CACHE / NIMBUS_CACHE_DIR   forwarded to the benches (result
+#                 cache; off by default).  Per-bench cache stats lines
+#                 (stderr) are surfaced as "cache <bench> ..." rows.
+#   NIMBUS_SUITE_OUTDIR   when set, each bench's *stdout* is also written
+#                 to $NIMBUS_SUITE_OUTDIR/<bench>.out — stderr (cache
+#                 stats, strict-warn diagnostics) is kept out, so CI can
+#                 diff cold-vs-warm runs byte for byte.
 set -uo pipefail
 cd "$(dirname "$0")/.."
+
+SHARD=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --shard)
+      shift
+      SHARD="${1:?--shard needs k/n}"
+      ;;
+    -*) echo "usage: $0 [--shard k/n] [bench...]" >&2; exit 2 ;;
+    *) break ;;
+  esac
+  shift
+done
 
 BUILD="${BUILD_DIR:-build}"
 if [ $# -gt 0 ]; then
@@ -27,27 +57,43 @@ if [ "${#BENCHES[@]}" = 0 ]; then
   exit 1
 fi
 
+if [ -n "${NIMBUS_SUITE_OUTDIR:-}" ]; then
+  mkdir -p "$NIMBUS_SUITE_OUTDIR"
+fi
+
+STDOUT_TMP=$(mktemp)
+STDERR_TMP=$(mktemp)
+trap 'rm -f "$STDOUT_TMP" "$STDERR_TMP"' EXIT
+
 FAILED=()
 for b in "${BENCHES[@]}"; do
   name=$(basename "$b")
   start=$(date +%s)
-  out=$(NIMBUS_SHAPE_STRICT=1 "$b" 2>&1)
+  NIMBUS_SHAPE_STRICT=1 NIMBUS_SHARD="${SHARD}" "$b" \
+    >"$STDOUT_TMP" 2>"$STDERR_TMP"
   rc=$?
   secs=$(( $(date +%s) - start ))
-  checks=$(printf '%s\n' "$out" | grep -c "SHAPE-CHECK" || true)
-  warns=$(printf '%s\n' "$out" | grep -c "SHAPE-CHECK,WARN" || true)
+  checks=$(grep -c "SHAPE-CHECK" "$STDOUT_TMP" || true)
+  warns=$(grep -c "SHAPE-CHECK,WARN" "$STDOUT_TMP" || true)
+  skips=$(grep -c "SHAPE-CHECK,SKIP" "$STDOUT_TMP" || true)
+  if [ -n "${NIMBUS_SUITE_OUTDIR:-}" ]; then
+    cp "$STDOUT_TMP" "$NIMBUS_SUITE_OUTDIR/$name.out"
+  fi
+  skipnote=""
+  if [ "$skips" != 0 ]; then skipnote=", $skips SKIP"; fi
   if [ $rc -ne 0 ]; then
-    echo "FAIL  $name (rc=$rc, ${secs}s, $warns/$checks WARN)"
-    printf '%s\n' "$out" | grep "SHAPE-CHECK,WARN" | sed 's/^/      /'
+    echo "FAIL  $name (rc=$rc, ${secs}s, $warns/$checks WARN$skipnote)"
+    grep "SHAPE-CHECK,WARN" "$STDOUT_TMP" | sed 's/^/      /'
     if [ "$warns" = 0 ]; then
       # Crashed rather than WARNed (e.g. a NIMBUS_CHECK abort): surface
       # the tail so CI logs carry the diagnostic, not just the exit code.
-      printf '%s\n' "$out" | tail -n 10 | sed 's/^/      | /'
+      tail -n 10 "$STDERR_TMP" | sed 's/^/      | /'
     fi
     FAILED+=("$name")
   else
-    echo "ok    $name (${secs}s, $warns/$checks WARN)"
+    echo "ok    $name (${secs}s, $warns/$checks WARN$skipnote)"
   fi
+  grep "^nimbus-cache:" "$STDERR_TMP" | sed "s/^/cache $name /"
 done
 
 if [ "${#FAILED[@]}" -gt 0 ]; then

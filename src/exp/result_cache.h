@@ -1,0 +1,144 @@
+// Disk-backed memoisation of scored sweep cells, plus the process-level
+// shard partition.
+//
+// A cell is one (ScenarioSpec, seed) pair reduced to a scored summary — a
+// flat vector of doubles (CellResult), NOT raw logs: the cacheable unit is
+// what a bench prints, so a cache hit reproduces the bench's stdout byte
+// for byte without replaying the simulation.  Cells are keyed by
+// (spec_hash, seed, code_fingerprint):
+//
+//   * spec_hash — the 128-bit content hash of the canonical spec
+//     serialization (exp/spec_canon.h); any spec field change is a miss.
+//   * seed — the cell's scenario base seed (also inside the spec hash;
+//     kept separate so cache filenames are greppable by seed).
+//   * code_fingerprint — a hash of this process's own executable image,
+//     so ANY code change invalidates everything, conservatively.  Stale
+//     fingerprints' entries are simply never read again; the cache is
+//     append-only garbage that CI prunes by key rotation.
+//
+// Entries are written atomically (temp file + rename) and are
+// self-checking: a truncated or corrupted entry fails its checksum and is
+// treated as a miss (recomputed, then rewritten when the mode allows).
+//
+// Environment switches (read once per process):
+//   NIMBUS_CACHE       off (default) | read | readwrite
+//   NIMBUS_CACHE_DIR   cache root (default .nimbus-cache when enabled)
+//   NIMBUS_SHARD       "k/n" (1-based): this process computes only the
+//                      cells whose hash lands in shard k of n.  Cells
+//                      outside the shard still *read* the cache (a fully
+//                      warmed cache yields complete output under any
+//                      shard), but are never computed; their results come
+//                      back with valid=false and NaN values, and benches
+//                      downgrade shape checks to SKIP (bench/common.h).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/spec_canon.h"
+
+namespace nimbus::exp {
+
+/// One cell's scored summary: the doubles a bench derives its printed
+/// rows and shape checks from.  Flat on purpose — every collect in the
+/// bench suite reduces to doubles, and a flat vector round-trips the disk
+/// format exactly (bit patterns, no re-parsing error).
+struct CellResult {
+  std::vector<double> values;
+  /// False only for sharded-out cells that were not in the cache: the
+  /// cell was skipped, values are empty, value(i) reads NaN.
+  bool valid = true;
+  /// True when this result came from the disk cache (informational).
+  bool from_cache = false;
+
+  static CellResult scalar(double v) { return {{v}, true, false}; }
+  /// values[i], or quiet NaN when invalid/out of range (deterministic
+  /// poison: a sharded-out cell prints "nan", never garbage).
+  double value(std::size_t i = 0) const;
+};
+
+class ResultCache {
+ public:
+  enum class Mode { kOff, kRead, kReadWrite };
+
+  struct Stats {
+    long hits = 0;
+    long misses = 0;    // absent entries (computed instead)
+    long corrupt = 0;   // failed checksum/parse (also counted as a miss)
+    long stores = 0;
+  };
+
+  ResultCache(std::string dir, Mode mode);
+
+  bool enabled() const { return mode_ != Mode::kOff; }
+  bool writable() const { return mode_ == Mode::kReadWrite; }
+  Mode mode() const { return mode_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Returns the cached cell, or nullopt on miss (absent or corrupt).
+  std::optional<CellResult> load(const Hash128& spec_hash,
+                                 std::uint64_t seed);
+
+  /// Stores the cell atomically (no-op unless writable).  Never throws:
+  /// an unwritable cache directory degrades to a slower run, not a
+  /// failed bench; a WARNING goes to stderr once.
+  void store(const Hash128& spec_hash, std::uint64_t seed,
+             const CellResult& r);
+
+  Stats stats() const;
+
+ private:
+  std::string entry_path(const Hash128& spec_hash, std::uint64_t seed) const;
+
+  std::string dir_;
+  Mode mode_;
+  mutable std::mutex mu_;
+  Stats stats_;
+  bool warned_unwritable_ = false;
+};
+
+/// The process-wide cache, configured from NIMBUS_CACHE/NIMBUS_CACHE_DIR
+/// on first use.
+ResultCache& process_cache();
+
+/// Hash of this process's executable image (/proc/self/exe), computed
+/// once.  CHECK-fails where unavailable and caching is requested — the
+/// cache must never run with an unverifiable fingerprint.
+Hash128 code_fingerprint();
+
+// ---------------------------------------------------------------------------
+// Sharding.
+// ---------------------------------------------------------------------------
+
+struct ShardConfig {
+  int k = 1;  // 1-based shard index
+  int n = 1;  // shard count
+  bool active() const { return n > 1; }
+};
+
+/// Parses "k/n" with 1 <= k <= n; CHECK-fails on malformed input.
+ShardConfig parse_shard(const std::string& s);
+
+/// NIMBUS_SHARD, or the inactive 1/1 config when unset.
+ShardConfig shard_from_env();
+
+/// Deterministic partition: for a fixed n, every cell belongs to exactly
+/// one shard (tests assert the disjoint exact cover).
+bool cell_in_shard(const Hash128& spec_hash, std::uint64_t seed,
+                   const ShardConfig& shard);
+
+/// Cells skipped by this process because they fell outside its shard and
+/// were not in the cache (drives the bench-level SKIP downgrade).
+long shard_skipped_count();
+void note_shard_skip();
+
+/// One summary line to `out` (benches pass stderr, keeping stdout
+/// byte-identical between cold and warm runs) when caching or sharding is
+/// active; silent otherwise.
+void print_cache_stats_if_active(std::FILE* out);
+
+}  // namespace nimbus::exp

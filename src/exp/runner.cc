@@ -96,4 +96,37 @@ void ParallelRunner::for_each(std::size_t n,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+std::vector<CellResult> run_scenarios_cached(
+    const std::vector<ScenarioSpec>& specs, const CellCollect& collect,
+    ParallelRunner::Options opts,
+    const std::function<void(std::size_t, CellResult&)>& on_result,
+    ResultCache* cache, const ShardConfig* shard) {
+  ResultCache& c = cache != nullptr ? *cache : process_cache();
+  const ShardConfig s = shard != nullptr ? *shard : shard_from_env();
+  ParallelRunner runner(opts);
+  return runner.map<CellResult>(
+      specs.size(),
+      [&](std::size_t i) -> CellResult {
+        const ScenarioSpec& spec = specs[i];
+        const bool cacheable = c.enabled() && spec_cacheable(spec);
+        Hash128 h;
+        if (cacheable || s.active()) h = spec_hash(spec);
+        if (cacheable) {
+          if (auto hit = c.load(h, spec.seed)) return *hit;
+        }
+        if (s.active() && !cell_in_shard(h, spec.seed, s)) {
+          // Out-of-shard and not in the cache: deterministically skipped.
+          note_shard_skip();
+          CellResult skipped;
+          skipped.valid = false;
+          return skipped;
+        }
+        ScenarioRun run = run_scenario(spec);
+        CellResult r = collect(spec, run);
+        if (cacheable) c.store(h, spec.seed, r);
+        return r;
+      },
+      on_result);
+}
+
 }  // namespace nimbus::exp

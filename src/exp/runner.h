@@ -22,6 +22,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "exp/result_cache.h"
 #include "exp/scenario.h"
 
 namespace nimbus::exp {
@@ -101,5 +102,34 @@ std::vector<R> run_scenarios(
       },
       on_result);
 }
+
+/// Reduces one finished run to its cacheable scored summary.
+using CellCollect =
+    std::function<CellResult(const ScenarioSpec&, ScenarioRun&)>;
+
+/// run_scenarios with content-addressed memoisation and process-level
+/// sharding.  Each spec is keyed by (spec_hash, spec.seed,
+/// code_fingerprint); a cache hit returns the stored CellResult without
+/// building a network, a miss runs the scenario, applies `collect`, and
+/// (in readwrite mode) stores the summary.  Under an active NIMBUS_SHARD,
+/// cells outside this process's shard are never computed: they are served
+/// from the cache when present and otherwise come back valid=false (NaN
+/// values) — see result_cache.h.
+///
+/// Caching is opt-in per call site precisely because `collect` is part of
+/// the cell's identity in spirit but not in the hash: the code
+/// fingerprint (the whole binary) covers it conservatively.  Call sites
+/// whose output depends on anything else (a ScenarioSetup hook, ambient
+/// state) must keep using run_scenarios.  Specs that cannot be
+/// canonicalized (spec_cacheable false) always compute.
+///
+/// Ordering guarantees match run_scenarios: results land in spec order
+/// and `on_result` fires in spec order.
+std::vector<CellResult> run_scenarios_cached(
+    const std::vector<ScenarioSpec>& specs, const CellCollect& collect,
+    ParallelRunner::Options opts = {},
+    const std::function<void(std::size_t, CellResult&)>& on_result = nullptr,
+    ResultCache* cache = nullptr,        // null: the NIMBUS_CACHE env cache
+    const ShardConfig* shard = nullptr); // null: the NIMBUS_SHARD env config
 
 }  // namespace nimbus::exp

@@ -44,6 +44,14 @@ class FlowSizeDist {
 
   const std::vector<Band>& bands() const { return bands_; }
 
+  /// Pareto-mode introspection (the canonical spec serializer must see
+  /// every sampling parameter; bands() alone does not determine sampling
+  /// when the bounded-Pareto factory was used).
+  bool is_pareto() const { return pareto_; }
+  double pareto_alpha() const { return pareto_alpha_; }
+  double pareto_lo_bytes() const { return pareto_lo_; }
+  double pareto_hi_bytes() const { return pareto_hi_; }
+
  private:
   std::vector<Band> bands_;
   bool pareto_ = false;
