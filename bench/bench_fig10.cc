@@ -3,11 +3,13 @@
 // Protagonist vs a long elastic Cubic phase embedded in the WAN workload.
 //
 // Declarative form: one ScenarioSpec per scheme (WAN workload at 0.3 load,
-// seed 5, plus a mid-run Cubic phase on flow 900) batched through the
-// ParallelRunner; collect reduces each run to its per-second rate series
-// and the in-order result callback prints the rows.  Verified
-// bit-identical to the imperative make_net / FlowWorkload /
-// add_cubic_cross version it replaces.
+// seed 5, plus a mid-run Cubic phase on flow 900) batched through
+// run_scenarios_cached; collect reduces each run to its per-second rate
+// series (a CellResult vector, memoised under NIMBUS_CACHE) and the
+// in-order result callback prints the rows.  Verified bit-identical to
+// the uncached run_scenarios version it replaces, which was itself
+// verified bit-identical to the imperative make_net / FlowWorkload /
+// add_cubic_cross original.
 #include "common.h"
 
 using namespace nimbus;
@@ -48,23 +50,25 @@ int main() {
   for (const auto& s : schemes) specs.push_back(spec_for(s, duration));
 
   std::vector<double> means(specs.size(), 0.0);
-  exp::run_scenarios<std::vector<double>>(
+  exp::run_scenarios_cached(
       specs,
       [](const exp::ScenarioSpec& spec, exp::ScenarioRun& run) {
-        return exp::rate_series_mbps(run.built.net->recorder(), 1,
-                                     spec.duration / 4 + from_sec(10),
-                                     3 * spec.duration / 4);
+        return exp::CellResult::vec(
+            exp::rate_series_mbps(run.built.net->recorder(), 1,
+                                  spec.duration / 4 + from_sec(10),
+                                  3 * spec.duration / 4));
       },
       {},
-      [&](std::size_t i, std::vector<double>& rates) {
+      [&](std::size_t i, exp::CellResult& r) {
         double sum = 0;
         std::size_t sec = 0;
-        for (double v : rates) {
+        for (double v : r.values) {
           row("fig10", schemes[i], {static_cast<double>(sec++), v});
           sum += v;
         }
-        means[i] =
-            rates.empty() ? 0.0 : sum / static_cast<double>(rates.size());
+        means[i] = r.values.empty()
+                       ? 0.0
+                       : sum / static_cast<double>(r.values.size());
       });
 
   row("fig10", "summary_mean_rate_vs_elastic", {means[0], means[1]});

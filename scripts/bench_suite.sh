@@ -20,6 +20,11 @@
 #   NIMBUS_CACHE / NIMBUS_CACHE_DIR   forwarded to the benches (result
 #                 cache; off by default).  Per-bench cache stats lines
 #                 (stderr) are surfaced as "cache <bench> ..." rows.
+#   NIMBUS_BENCH_TIMEOUT   per-bench wall-clock limit in seconds (default
+#                 600).  A bench that exceeds it is killed, prints a
+#                 "TIMEOUT <bench>" row, and fails the suite — a hung
+#                 bench can no longer stall CI indefinitely.  Set 0 to
+#                 disable (e.g. full-length local runs under a debugger).
 #   NIMBUS_SUITE_OUTDIR   when set, each bench's *stdout* is also written
 #                 to $NIMBUS_SUITE_OUTDIR/<bench>.out — stderr (cache
 #                 stats, strict-warn diagnostics) is kept out, so CI can
@@ -65,14 +70,28 @@ STDOUT_TMP=$(mktemp)
 STDERR_TMP=$(mktemp)
 trap 'rm -f "$STDOUT_TMP" "$STDERR_TMP"' EXIT
 
+TIMEOUT_SEC="${NIMBUS_BENCH_TIMEOUT:-600}"
+
 FAILED=()
 for b in "${BENCHES[@]}"; do
   name=$(basename "$b")
   start=$(date +%s)
-  NIMBUS_SHAPE_STRICT=1 NIMBUS_SHARD="${SHARD}" "$b" \
-    >"$STDOUT_TMP" 2>"$STDERR_TMP"
+  if [ "$TIMEOUT_SEC" != 0 ]; then
+    NIMBUS_SHAPE_STRICT=1 NIMBUS_SHARD="${SHARD}" \
+      timeout -k 10 "$TIMEOUT_SEC" "$b" \
+      >"$STDOUT_TMP" 2>"$STDERR_TMP"
+  else
+    NIMBUS_SHAPE_STRICT=1 NIMBUS_SHARD="${SHARD}" "$b" \
+      >"$STDOUT_TMP" 2>"$STDERR_TMP"
+  fi
   rc=$?
   secs=$(( $(date +%s) - start ))
+  # timeout(1) reports 124 (TERM) or 137 (KILL'd after --signal=KILL).
+  if [ "$TIMEOUT_SEC" != 0 ] && { [ $rc -eq 124 ] || [ $rc -eq 137 ]; }; then
+    echo "TIMEOUT $name (killed after ${TIMEOUT_SEC}s)"
+    FAILED+=("$name")
+    continue
+  fi
   checks=$(grep -c "SHAPE-CHECK" "$STDOUT_TMP" || true)
   warns=$(grep -c "SHAPE-CHECK,WARN" "$STDOUT_TMP" || true)
   skips=$(grep -c "SHAPE-CHECK,SKIP" "$STDOUT_TMP" || true)

@@ -23,6 +23,16 @@ double CellResult::value(std::size_t i) const {
   return values[i];
 }
 
+const char* CellResult::fail_label() const {
+  switch (fail) {
+    case Fail::kNone: return "";
+    case Fail::kShardSkip: return "SKIP";
+    case Fail::kTimeout: return "TIMEOUT";
+    case Fail::kEventBudget: return "EVENT-BUDGET";
+  }
+  return "";
+}
+
 // ---------------------------------------------------------------------------
 // Entry serialization.  Text, one double per line as its exact IEEE-754
 // bit pattern, closed by a checksum line over every preceding byte — a

@@ -48,17 +48,39 @@ namespace nimbus::exp {
 /// bench suite reduces to doubles, and a flat vector round-trips the disk
 /// format exactly (bit patterns, no re-parsing error).
 struct CellResult {
+  /// Why a cell carries no values.  Failed cells (watchdog trips) are
+  /// never stored to disk, so the entry format is unchanged.
+  enum class Fail : std::uint8_t {
+    kNone = 0,     // valid result
+    kShardSkip,    // outside this process's shard and not in the cache
+    kTimeout,      // per-cell wall-clock watchdog tripped mid-run
+    kEventBudget,  // per-cell simulated-event budget tripped mid-run
+  };
+
   std::vector<double> values;
-  /// False only for sharded-out cells that were not in the cache: the
-  /// cell was skipped, values are empty, value(i) reads NaN.
+  /// False for sharded-out cells that were not in the cache and for cells
+  /// whose run budget tripped: values are empty, value(i) reads NaN, and
+  /// `fail` says which of those happened.
   bool valid = true;
   /// True when this result came from the disk cache (informational).
   bool from_cache = false;
+  Fail fail = Fail::kNone;
 
   static CellResult scalar(double v) { return {{v}, true, false}; }
+  static CellResult vec(std::vector<double> v) {
+    return {std::move(v), true, false};
+  }
+  static CellResult failed(Fail reason) {
+    CellResult r;
+    r.valid = false;
+    r.fail = reason;
+    return r;
+  }
   /// values[i], or quiet NaN when invalid/out of range (deterministic
-  /// poison: a sharded-out cell prints "nan", never garbage).
+  /// poison: a sharded-out or failed cell prints "nan", never garbage).
   double value(std::size_t i = 0) const;
+  /// Short printable reason: "" (ok), "SKIP", "TIMEOUT", "EVENT-BUDGET".
+  const char* fail_label() const;
 };
 
 class ResultCache {

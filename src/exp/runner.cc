@@ -96,13 +96,27 @@ void ParallelRunner::for_each(std::size_t n,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+RunBudget cell_budget_from_env() {
+  RunBudget b;
+  if (const char* env = std::getenv("NIMBUS_CELL_MAX_EVENTS")) {
+    const long long n = std::atoll(env);
+    if (n > 0) b.max_events = static_cast<std::uint64_t>(n);
+  }
+  if (const char* env = std::getenv("NIMBUS_CELL_WALL_SEC")) {
+    const double s = std::atof(env);
+    if (s > 0.0) b.max_wall_seconds = s;
+  }
+  return b;
+}
+
 std::vector<CellResult> run_scenarios_cached(
     const std::vector<ScenarioSpec>& specs, const CellCollect& collect,
     ParallelRunner::Options opts,
     const std::function<void(std::size_t, CellResult&)>& on_result,
-    ResultCache* cache, const ShardConfig* shard) {
+    ResultCache* cache, const ShardConfig* shard, const RunBudget* budget) {
   ResultCache& c = cache != nullptr ? *cache : process_cache();
   const ShardConfig s = shard != nullptr ? *shard : shard_from_env();
+  const RunBudget b = budget != nullptr ? *budget : cell_budget_from_env();
   ParallelRunner runner(opts);
   return runner.map<CellResult>(
       specs.size(),
@@ -117,11 +131,18 @@ std::vector<CellResult> run_scenarios_cached(
         if (s.active() && !cell_in_shard(h, spec.seed, s)) {
           // Out-of-shard and not in the cache: deterministically skipped.
           note_shard_skip();
-          CellResult skipped;
-          skipped.valid = false;
-          return skipped;
+          return CellResult::failed(CellResult::Fail::kShardSkip);
         }
-        ScenarioRun run = run_scenario(spec);
+        ScenarioRun run = run_scenario(spec, nullptr, b);
+        switch (run.budget_stop()) {
+          case sim::EventLoop::BudgetStop::kNone:
+            break;
+          case sim::EventLoop::BudgetStop::kWall:
+            // The run is truncated: don't score it, don't cache it.
+            return CellResult::failed(CellResult::Fail::kTimeout);
+          case sim::EventLoop::BudgetStop::kEvents:
+            return CellResult::failed(CellResult::Fail::kEventBudget);
+        }
         CellResult r = collect(spec, run);
         if (cacheable) c.store(h, spec.seed, r);
         return r;

@@ -107,6 +107,11 @@ std::vector<R> run_scenarios(
 using CellCollect =
     std::function<CellResult(const ScenarioSpec&, ScenarioRun&)>;
 
+/// Per-cell watchdog config for run_scenarios_cached, from the environment:
+/// NIMBUS_CELL_MAX_EVENTS (simulated-event budget) and NIMBUS_CELL_WALL_SEC
+/// (wall-clock seconds).  Unset/invalid = unlimited.
+RunBudget cell_budget_from_env();
+
 /// run_scenarios with content-addressed memoisation and process-level
 /// sharding.  Each spec is keyed by (spec_hash, spec.seed,
 /// code_fingerprint); a cache hit returns the stored CellResult without
@@ -125,11 +130,19 @@ using CellCollect =
 ///
 /// Ordering guarantees match run_scenarios: results land in spec order
 /// and `on_result` fires in spec order.
+///
+/// Watchdog: each computed cell runs under `budget` (null: the
+/// NIMBUS_CELL_MAX_EVENTS / NIMBUS_CELL_WALL_SEC env config; default
+/// unlimited).  A cell whose event loop trips the budget comes back
+/// valid=false with fail = kTimeout (wall) or kEventBudget (events)
+/// instead of stalling the suite; failed cells are never stored in the
+/// cache and `collect` is not called on their truncated runs.
 std::vector<CellResult> run_scenarios_cached(
     const std::vector<ScenarioSpec>& specs, const CellCollect& collect,
     ParallelRunner::Options opts = {},
     const std::function<void(std::size_t, CellResult&)>& on_result = nullptr,
     ResultCache* cache = nullptr,        // null: the NIMBUS_CACHE env cache
-    const ShardConfig* shard = nullptr); // null: the NIMBUS_SHARD env config
+    const ShardConfig* shard = nullptr,  // null: the NIMBUS_SHARD env config
+    const RunBudget* budget = nullptr);  // null: the env cell budget
 
 }  // namespace nimbus::exp

@@ -226,6 +226,16 @@ std::unique_ptr<sim::Network> make_bottleneck(const ScenarioSpec& spec) {
                                     : flow_seed(spec.seed, /*legacy=*/7));
   }
   if (spec.policer.enabled) net->link().set_policer(spec.policer);
+  if (spec.impairment.forward.any()) {
+    sim::ImpairmentConfig c = spec.impairment.forward;
+    if (c.seed == 0) c.seed = flow_seed(spec.seed, /*legacy=*/211);
+    net->link().set_impairment(std::make_unique<sim::ImpairmentStage>(c));
+  }
+  if (spec.impairment.reverse.any()) {
+    sim::ImpairmentConfig c = spec.impairment.reverse;
+    if (c.seed == 0) c.seed = flow_seed(spec.seed, /*legacy=*/223);
+    net->set_ack_impairment(std::make_unique<sim::ImpairmentStage>(c));
+  }
   // Non-constant µ(t): install the schedule before any traffic exists.
   // The constant default installs nothing at all, keeping pre-existing
   // scenarios' event streams bit-identical.
@@ -421,7 +431,8 @@ BuiltScenario build_network(const ScenarioSpec& spec) {
 }
 
 ScenarioRun run_scenario(const ScenarioSpec& spec,
-                         const ScenarioSetup& setup) {
+                         const ScenarioSetup& setup,
+                         const RunBudget& budget) {
   ScenarioRun run;
   run.built = build_network(spec);
   if (spec.log_copa_mode) {
@@ -445,6 +456,10 @@ ScenarioRun run_scenario(const ScenarioSpec& spec,
                          run.eta_raw_log.get());
   }
   if (setup) setup(spec, run.built);
+  if (budget.limited()) {
+    run.built.net->loop().set_run_budget(budget.max_events,
+                                         budget.max_wall_seconds);
+  }
   run.built.net->run_until(spec.duration);
   return run;
 }

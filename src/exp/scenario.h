@@ -207,6 +207,23 @@ struct LinkSpec {
 /// check unreachable).
 traffic::FlowWorkload::Config unseeded_workload_config();
 
+/// Per-direction path impairments (sim/impairment.h): Gilbert–Elliott
+/// bursty loss, jitter/reordering, duplication, blackouts/flaps.  The
+/// forward config filters every packet offered to the bottleneck (data and
+/// cross traffic share the impaired path); the reverse config filters the
+/// ACK return path of every transport flow.  Defaults are all-off, in
+/// which case build_network installs no stage and the event stream is
+/// bit-identical to the unimpaired simulator.  A zero seed in either
+/// config is replaced with a flow_seed derivation from the scenario seed
+/// (streams 211 forward / 223 reverse), so seed sweeps vary the
+/// impairment realizations too.
+struct ImpairmentSpec {
+  sim::ImpairmentConfig forward;
+  sim::ImpairmentConfig reverse;
+
+  bool any() const { return forward.any() || reverse.any(); }
+};
+
 struct ScenarioSpec {
   std::string name;
 
@@ -224,6 +241,7 @@ struct ScenarioSpec {
   /// experiments keep their historical seed*13+7 formula.
   std::uint64_t random_loss_seed = 0;
   sim::PolicerConfig policer;
+  ImpairmentSpec impairment;
 
   ProtagonistSpec protagonist;
   std::vector<CrossSpec> cross;
@@ -294,6 +312,11 @@ struct ScenarioRun {
   std::unique_ptr<util::TimeSeries> eta_log;
   std::unique_ptr<util::TimeSeries> eta_raw_log;
   std::unique_ptr<util::TimeSeries> z_log;
+
+  /// Why the run stopped early, if a RunBudget tripped (kNone otherwise).
+  sim::EventLoop::BudgetStop budget_stop() const {
+    return built.net->loop().budget_stop();
+  }
 };
 
 /// Pre-run hook: runs after the network is assembled and the standard logs
@@ -301,9 +324,22 @@ struct ScenarioRun {
 /// custom probes (e.g. sampling Nimbus roles mid-run).
 using ScenarioSetup = std::function<void(const ScenarioSpec&, BuiltScenario&)>;
 
+/// Watchdog limits for one scenario run (EventLoop::set_run_budget): stop
+/// the event loop after `max_events` simulated events or `max_wall_seconds`
+/// of real time, whichever trips first; 0 = unlimited.  A tripped run
+/// returns normally with the loop short of spec.duration — callers detect
+/// it via run.budget_stop() and must not score the truncated logs.
+struct RunBudget {
+  std::uint64_t max_events = 0;
+  double max_wall_seconds = 0.0;
+
+  bool limited() const { return max_events != 0 || max_wall_seconds > 0.0; }
+};
+
 /// build_network + attach logs + run_until(spec.duration).
 ScenarioRun run_scenario(const ScenarioSpec& spec,
-                         const ScenarioSetup& setup = nullptr);
+                         const ScenarioSetup& setup = nullptr,
+                         const RunBudget& budget = {});
 
 // ---------------------------------------------------------------------------
 // Canned experiments.

@@ -25,6 +25,9 @@ namespace nimbus::exp {
                 "canonical_spec() and " #constant " in exp/spec_canon.h")
 NIMBUS_CANON_GUARD(sim::RateStep, kCanonSizeofRateStep);
 NIMBUS_CANON_GUARD(sim::PolicerConfig, kCanonSizeofPolicerConfig);
+NIMBUS_CANON_GUARD(sim::Outage, kCanonSizeofOutage);
+NIMBUS_CANON_GUARD(sim::ImpairmentConfig, kCanonSizeofImpairmentConfig);
+NIMBUS_CANON_GUARD(ImpairmentSpec, kCanonSizeofImpairmentSpec);
 NIMBUS_CANON_GUARD(core::BasicDelayCore::Params, kCanonSizeofBasicDelayParams);
 NIMBUS_CANON_GUARD(core::Nimbus::Config, kCanonSizeofNimbusConfig);
 NIMBUS_CANON_GUARD(traffic::FlowSizeDist::Band, kCanonSizeofFlowSizeBand);
@@ -189,6 +192,34 @@ void emit_policer(Canon& c, const std::string& p,
   c.i64(p + ".burst_bytes", pol.burst_bytes);
 }
 
+void emit_impairment_cfg(Canon& c, const std::string& p,
+                         const sim::ImpairmentConfig& ic) {
+  c.b(p + ".ge_enabled", ic.ge_enabled);
+  c.d(p + ".ge_p", ic.ge_p);
+  c.d(p + ".ge_q", ic.ge_q);
+  c.d(p + ".ge_loss_good", ic.ge_loss_good);
+  c.d(p + ".ge_loss_bad", ic.ge_loss_bad);
+  c.i64(p + ".jitter", ic.jitter);
+  c.b(p + ".reorder", ic.reorder);
+  c.d(p + ".duplicate_prob", ic.duplicate_prob);
+  c.u64(p + ".blackouts.n", ic.blackouts.size());
+  for (std::size_t i = 0; i < ic.blackouts.size(); ++i) {
+    const std::string q = p + ".blackouts[" + std::to_string(i) + "]";
+    c.i64(q + ".start", ic.blackouts[i].start);
+    c.i64(q + ".duration", ic.blackouts[i].duration);
+  }
+  c.i64(p + ".flap_period", ic.flap_period);
+  c.i64(p + ".flap_duration", ic.flap_duration);
+  c.i64(p + ".flap_offset", ic.flap_offset);
+  c.u64(p + ".seed", ic.seed);
+}
+
+void emit_impairment(Canon& c, const std::string& p,
+                     const ImpairmentSpec& im) {
+  emit_impairment_cfg(c, p + ".forward", im.forward);
+  emit_impairment_cfg(c, p + ".reverse", im.reverse);
+}
+
 void emit_protagonist(Canon& c, const std::string& p,
                       const ProtagonistSpec& pr) {
   c.b(p + ".enabled", pr.enabled);
@@ -249,7 +280,8 @@ void emit_workload(Canon& c, const std::string& p,
 
 std::string canonical_spec(const ScenarioSpec& spec) {
   Canon c;
-  c.line("format", "scenario-canon/v1");
+  // v2: added the per-direction impairment block (PR 8).
+  c.line("format", "scenario-canon/v2");
   c.s("name", spec.name);
   c.d("mu_bps", spec.mu_bps);
   emit_link(c, "link", spec.link);
@@ -261,6 +293,7 @@ std::string canonical_spec(const ScenarioSpec& spec) {
   c.d("random_loss", spec.random_loss);
   c.u64("random_loss_seed", spec.random_loss_seed);
   emit_policer(c, "policer", spec.policer);
+  emit_impairment(c, "impairment", spec.impairment);
   emit_protagonist(c, "protagonist", spec.protagonist);
   c.u64("cross.n", spec.cross.size());
   for (std::size_t i = 0; i < spec.cross.size(); ++i) {

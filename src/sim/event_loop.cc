@@ -203,6 +203,45 @@ EventId EventLoop::reschedule(EventId id, TimeNs t) {
   return nid;
 }
 
+void EventLoop::set_run_budget(std::uint64_t max_events,
+                               double max_wall_seconds) {
+  budget_stop_ = BudgetStop::kNone;
+  budget_events_end_ = max_events == 0 ? 0 : processed_ + max_events;
+  budget_wall_armed_ = max_wall_seconds > 0.0;
+  if (budget_wall_armed_) {
+    budget_wall_deadline_ =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(max_wall_seconds));
+  }
+  if (budget_events_end_ == 0 && !budget_wall_armed_) {
+    budget_check_next_ = ~std::uint64_t{0};
+    return;
+  }
+  budget_check_next_ = processed_ + kBudgetCheckInterval;
+  if (budget_events_end_ != 0 && budget_events_end_ < budget_check_next_) {
+    budget_check_next_ = budget_events_end_;
+  }
+}
+
+void EventLoop::check_budget() {
+  if (budget_events_end_ != 0 && processed_ >= budget_events_end_) {
+    budget_stop_ = BudgetStop::kEvents;
+    stopped_ = true;
+    return;
+  }
+  if (budget_wall_armed_ &&
+      std::chrono::steady_clock::now() >= budget_wall_deadline_) {
+    budget_stop_ = BudgetStop::kWall;
+    stopped_ = true;
+    return;
+  }
+  budget_check_next_ = processed_ + kBudgetCheckInterval;
+  if (budget_events_end_ != 0 && budget_events_end_ < budget_check_next_) {
+    budget_check_next_ = budget_events_end_;
+  }
+}
+
 void EventLoop::run_until(TimeNs t_end) {
   stopped_ = false;
   while (!stopped_) {
@@ -276,6 +315,7 @@ void EventLoop::run_until(TimeNs t_end) {
         have_fired = true;
         last_fired_time = t_min;
         fire_slot(slot, id, static_cast<TimeNs>(t_min));
+        if (processed_ >= budget_check_next_) check_budget();
         continue;
       }
 
@@ -320,6 +360,7 @@ void EventLoop::run_until(TimeNs t_end) {
         Slot& slot = slot_ref(static_cast<std::uint32_t>(id & kSlotMask));
         if (slot.pending_id != id) continue;  // cancelled mid-batch
         fire_slot(slot, id, static_cast<TimeNs>(t_min));
+        if (processed_ >= budget_check_next_) check_budget();
         if (stopped_) {
           // stop() mid-run: re-link the unfired remainder so it is still
           // pending for the next run_until call.

@@ -37,6 +37,7 @@
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -196,6 +197,20 @@ class EventLoop {
   /// Stops the loop after the current callback returns.
   void stop() { stopped_ = true; }
 
+  /// Why the last run stopped early, if a run budget tripped.
+  enum class BudgetStop : std::uint8_t { kNone, kEvents, kWall };
+
+  /// Arms a watchdog for subsequent run_until calls: the loop stops (as if
+  /// stop() were called; unfired events stay pending) after processing
+  /// `max_events` further events, or once `max_wall_seconds` of real time
+  /// elapse from this call.  Either limit can be 0 = unlimited.  The event
+  /// budget is exact and deterministic; the wall clock is polled every few
+  /// thousand events, so it is a hang guard, not a precise timer.  With
+  /// both limits 0 the drain path stays a single always-false compare per
+  /// event.  Re-arming resets budget_stop().
+  void set_run_budget(std::uint64_t max_events, double max_wall_seconds);
+  BudgetStop budget_stop() const { return budget_stop_; }
+
   TimeNs now() const { return now_; }
   std::size_t pending_events() const { return live_; }
   std::uint64_t processed_events() const { return processed_; }
@@ -260,8 +275,16 @@ class EventLoop {
     return next_seq_++ << kSlotBits | s;
   }
 
+  // Wall-clock poll cadence for the run budget: cheap enough to be
+  // invisible (one steady_clock read per ~4k events), fine-grained enough
+  // that a runaway cell overshoots its wall limit by milliseconds.
+  static constexpr std::uint64_t kBudgetCheckInterval = 4096;
+
   std::uint32_t acquire_slot(TimeNs t);
   void release_slot(std::uint32_t s);
+  // Slow path of the per-event budget compare: trips the event/wall limit
+  // (setting stopped_ + budget_stop_) or re-arms budget_check_next_.
+  void check_budget();
   // Fires a due event in place: advances now_ to `t`, retires the id, and
   // invokes the callback in its slot (shared by the drain's
   // distinct-deadline fast path and the equal-time batch loop).
@@ -310,6 +333,15 @@ class EventLoop {
   std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
   bool stopped_ = false;
+
+  // Run budget (set_run_budget).  budget_check_next_ is the processed_
+  // count at which the drain takes the check_budget slow path; all-ones
+  // when no budget is armed, so the steady-state cost is one compare.
+  std::uint64_t budget_check_next_ = ~std::uint64_t{0};
+  std::uint64_t budget_events_end_ = 0;  // absolute processed_ limit; 0 = off
+  bool budget_wall_armed_ = false;
+  std::chrono::steady_clock::time_point budget_wall_deadline_{};
+  BudgetStop budget_stop_ = BudgetStop::kNone;
 };
 
 /// A single rearmable timer (e.g. an RTO).  Re-arming cancels the previous

@@ -1,0 +1,111 @@
+#include "sim/impairment.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace nimbus::sim {
+
+namespace {
+
+// Local splitmix64 step for deriving per-mechanism RNG streams from the
+// stage seed.  Mirrors the finalizer used by exp::derive_seed, but sim/
+// must not depend on exp/, so the mixer lives here.
+std::uint64_t mix_stream(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t z = seed + salt * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+bool prob_ok(double p) { return p >= 0.0 && p <= 1.0; }
+
+}  // namespace
+
+bool ImpairmentConfig::any() const {
+  return ge_enabled || jitter > 0 || duplicate_prob > 0.0 ||
+         !blackouts.empty() || flap_period > 0;
+}
+
+ImpairmentStage::ImpairmentStage(const ImpairmentConfig& cfg)
+    : cfg_(cfg),
+      loss_rng_(mix_stream(cfg.seed, 1)),
+      jitter_rng_(mix_stream(cfg.seed, 2)),
+      dup_rng_(mix_stream(cfg.seed, 3)) {
+  NIMBUS_CHECK_MSG(cfg_.seed != 0,
+                   "impairment stage needs an explicit nonzero seed");
+  NIMBUS_CHECK(prob_ok(cfg_.ge_p) && prob_ok(cfg_.ge_loss_good) &&
+               prob_ok(cfg_.ge_loss_bad) && prob_ok(cfg_.duplicate_prob));
+  // An enabled chain must be able to leave the bad state; a permanent
+  // outage is a blackout, not a loss process.
+  NIMBUS_CHECK(!cfg_.ge_enabled || (cfg_.ge_q > 0.0 && cfg_.ge_q <= 1.0));
+  NIMBUS_CHECK(cfg_.jitter >= 0);
+  NIMBUS_CHECK(cfg_.flap_period == 0 ||
+               (cfg_.flap_duration > 0 && cfg_.flap_duration <= cfg_.flap_period));
+  for (const Outage& o : cfg_.blackouts) {
+    NIMBUS_CHECK(o.start >= 0 && o.duration > 0);
+  }
+  std::sort(cfg_.blackouts.begin(), cfg_.blackouts.end(),
+            [](const Outage& a, const Outage& b) { return a.start < b.start; });
+}
+
+bool ImpairmentStage::in_blackout(TimeNs now) {
+  while (outage_next_ < cfg_.blackouts.size() &&
+         cfg_.blackouts[outage_next_].start + cfg_.blackouts[outage_next_].duration <= now) {
+    ++outage_next_;
+  }
+  if (outage_next_ < cfg_.blackouts.size() &&
+      now >= cfg_.blackouts[outage_next_].start) {
+    return true;
+  }
+  if (cfg_.flap_period > 0 && now >= cfg_.flap_offset &&
+      (now - cfg_.flap_offset) % cfg_.flap_period < cfg_.flap_duration) {
+    return true;
+  }
+  return false;
+}
+
+ImpairmentStage::Decision ImpairmentStage::on_packet(TimeNs now) {
+  ++offered_;
+  Decision d;
+  if (in_blackout(now)) {
+    ++blackout_dropped_;
+    d.copies = 0;
+    return d;
+  }
+  if (cfg_.ge_enabled) {
+    const double p_loss = ge_bad_ ? cfg_.ge_loss_bad : cfg_.ge_loss_good;
+    const bool dropped = loss_rng_.bernoulli(p_loss);
+    // Advance the chain once per offered packet, after the loss draw, so
+    // the state sequence is a function of the loss stream alone.
+    ge_bad_ = ge_bad_ ? !loss_rng_.bernoulli(cfg_.ge_q)
+                      : loss_rng_.bernoulli(cfg_.ge_p);
+    if (dropped) {
+      ++lost_;
+      d.copies = 0;
+      return d;
+    }
+  }
+  d.copies = 1;
+  if (cfg_.duplicate_prob > 0.0 && dup_rng_.bernoulli(cfg_.duplicate_prob)) {
+    d.copies = 2;
+    ++duplicated_;
+  }
+  for (int i = 0; i < d.copies; ++i) {
+    TimeNs release = now;
+    if (cfg_.jitter > 0) {
+      release += jitter_rng_.uniform_int(0, cfg_.jitter);
+    }
+    if (!cfg_.reorder) {
+      // FIFO: a draw that would overtake the previous release is clamped.
+      release = std::max(release, last_release_);
+    } else if (release < last_release_) {
+      ++reordered_;
+    }
+    last_release_ = std::max(last_release_, release);
+    d.delay[i] = release - now;
+  }
+  return d;
+}
+
+}  // namespace nimbus::sim

@@ -16,8 +16,20 @@ BottleneckLink::BottleneckLink(EventLoop* loop, double rate_bps,
 
 void BottleneckLink::set_random_loss(double prob, std::uint64_t seed) {
   NIMBUS_CHECK(prob >= 0.0 && prob < 1.0);
+  // Seed 0 is the spec layer's "derive me" sentinel and the old implicit
+  // default was a shared-stream hazard; both are rejected here so every
+  // lossy link runs on an explicitly derived stream.
+  NIMBUS_CHECK_MSG(seed != 0, "set_random_loss needs an explicit nonzero seed");
   loss_prob_ = prob;
   loss_rng_ = util::Rng(seed);
+}
+
+void BottleneckLink::set_impairment(std::unique_ptr<ImpairmentStage> stage) {
+  NIMBUS_CHECK_MSG(impairment_ == nullptr, "impairment already installed");
+  NIMBUS_CHECK_MSG(!busy_ && loop_->now() == 0,
+                   "install the impairment stage before traffic starts");
+  NIMBUS_CHECK(stage != nullptr);
+  impairment_ = std::move(stage);
 }
 
 void BottleneckLink::set_policer(const PolicerConfig& cfg) {
@@ -39,6 +51,25 @@ bool BottleneckLink::policer_admits(const Packet& p) {
 }
 
 void BottleneckLink::enqueue(Packet p) {
+  if (impairment_ != nullptr) {
+    const ImpairmentStage::Decision d = impairment_->on_packet(loop_->now());
+    if (d.copies == 0) {
+      drop(p);
+      return;
+    }
+    for (int i = 0; i < d.copies; ++i) {
+      if (d.delay[i] == 0) {
+        admit(p);
+      } else {
+        loop_->schedule_in(d.delay[i], Admit{this, p});
+      }
+    }
+    return;
+  }
+  admit(p);
+}
+
+void BottleneckLink::admit(Packet p) {
   if (loss_prob_ > 0.0 && loss_rng_.bernoulli(loss_prob_)) {
     drop(p);
     return;

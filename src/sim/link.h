@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "sim/event_loop.h"
+#include "sim/impairment.h"
 #include "sim/link_schedule.h"
 #include "sim/packet.h"
 #include "sim/queue_disc.h"
@@ -46,9 +47,21 @@ class BottleneckLink {
   void set_delivery_handler(DeliveryHandler h) { on_delivery_ = std::move(h); }
   void set_drop_handler(DropHandler h) { on_drop_ = std::move(h); }
 
-  /// Random i.i.d. loss applied on arrival (before the queue).
-  void set_random_loss(double prob, std::uint64_t seed = 7);
+  /// Random i.i.d. loss applied on arrival (before the queue).  The seed
+  /// must be explicit and nonzero: every call site derives it from the
+  /// scenario seed (exp::flow_seed), so two lossy links never share a
+  /// stream by accident.
+  void set_random_loss(double prob, std::uint64_t seed);
   void set_policer(const PolicerConfig& cfg);
+
+  /// Installs a forward-path impairment stage (sim/impairment.h).  Every
+  /// packet offered to the link passes through it before random loss /
+  /// policer / queue: drops are reported via the drop handler, duplicated
+  /// or jittered copies are admitted at their stage-release times.  With
+  /// no stage installed the admission path is byte-identical to the
+  /// pre-impairment link.  Call once, before traffic starts.
+  void set_impairment(std::unique_ptr<ImpairmentStage> stage);
+  const ImpairmentStage* impairment() const { return impairment_.get(); }
 
   /// Offers a packet to the link.
   void enqueue(Packet p);
@@ -97,6 +110,18 @@ class BottleneckLink {
     void operator()() const { link->on_schedule_tick(); }
   };
 
+  // Delayed admission of a jittered/duplicated copy released by the
+  // impairment stage.  Carries the packet by value: at 56 bytes it
+  // exactly fits the event loop's inline callback buffer.
+  struct Admit {
+    BottleneckLink* link;
+    Packet p;
+    void operator()() const { link->admit(p); }
+  };
+  static_assert(sizeof(Admit) <= EventCallback::kInlineBytes,
+                "delayed-admit events must stay allocation-free");
+
+  void admit(Packet p);
   void start_transmission();
   void finish_transmission();
   void drop(const Packet& p);
@@ -108,6 +133,7 @@ class BottleneckLink {
   double rate_bps_;
   std::unique_ptr<QueueDisc> qdisc_;
   std::unique_ptr<RateSchedule> schedule_;
+  std::unique_ptr<ImpairmentStage> impairment_;
   DeliveryHandler on_delivery_;
   DropHandler on_drop_;
 

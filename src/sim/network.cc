@@ -35,6 +35,7 @@ TransportFlow* Network::add_flow(TransportFlow::Config cfg,
   auto flow =
       std::make_unique<TransportFlow>(&loop_, link_.get(), cfg, std::move(cc));
   TransportFlow* raw = flow.get();
+  if (ack_impairment_ != nullptr) raw->set_ack_impairment(ack_impairment_.get());
   // Direct pointer into the recorder's stable per-flow series: the per-ACK
   // hot path records an RTT sample without any id lookup.
   util::TimeSeries* rtt_series = recorder_.rtt_series(cfg.id);
@@ -48,6 +49,15 @@ TransportFlow* Network::add_flow(TransportFlow::Config cfg,
   flow_index_[cfg.id] = raw;
   raw->start();
   return raw;
+}
+
+void Network::set_ack_impairment(std::unique_ptr<ImpairmentStage> stage) {
+  NIMBUS_CHECK_MSG(ack_impairment_ == nullptr,
+                   "ACK impairment already installed");
+  NIMBUS_CHECK_MSG(flows_.empty(),
+                   "install the ACK impairment before adding flows");
+  NIMBUS_CHECK(stage != nullptr);
+  ack_impairment_ = std::move(stage);
 }
 
 void Network::add_source(std::unique_ptr<TrafficSource> source) {

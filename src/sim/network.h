@@ -55,6 +55,14 @@ class Network {
   /// lifetime is managed here and its start is scheduled.
   void add_source(std::unique_ptr<TrafficSource> source);
 
+  /// Installs a reverse-path (ACK) impairment stage shared by all flows
+  /// (one common impaired return path).  Must be called before any flow is
+  /// added so every flow's ACK stream is filtered from the start.
+  void set_ack_impairment(std::unique_ptr<ImpairmentStage> stage);
+  const ImpairmentStage* ack_impairment() const {
+    return ack_impairment_.get();
+  }
+
   /// Allocates a fresh flow id (for sources constructed by the caller).
   FlowId next_flow_id() { return next_id_++; }
 
@@ -77,6 +85,7 @@ class Network {
 
   EventLoop loop_;
   std::unique_ptr<BottleneckLink> link_;
+  std::unique_ptr<ImpairmentStage> ack_impairment_;
   Recorder recorder_;
   std::vector<std::unique_ptr<TransportFlow>> flows_;
   std::unordered_map<FlowId, TransportFlow*> flow_index_;

@@ -20,9 +20,11 @@ struct Packet {
 };
 
 /// ACK carried back to a transport sender.  The simulator models the reverse
-/// path as uncongested: ACKs take the flow's propagation delay and are never
-/// dropped (standard congestion-control-study assumption; the paper's
-/// experiments likewise have an uncongested ACK path).
+/// path as uncongested: by default ACKs take the flow's propagation delay
+/// and are never dropped (standard congestion-control-study assumption; the
+/// paper's experiments likewise have an uncongested ACK path).  A reverse
+/// ImpairmentStage (sim/impairment.h), when installed on the Network, can
+/// drop, duplicate, jitter, or black out the ACK path.
 struct Ack {
   FlowId flow_id = 0;
   std::uint64_t seq = 0;       // the specific packet being acknowledged

@@ -159,6 +159,14 @@ void TransportFlow::on_link_delivery(const Packet& p, TimeNs /*dequeue_done*/) {
   ack.data_sent_at = p.sent_at;
   ack.bytes = p.size_bytes;
 
+  if (ack_impairment_ != nullptr) {
+    const ImpairmentStage::Decision d =
+        ack_impairment_->on_packet(loop_->now());
+    for (int i = 0; i < d.copies; ++i) {
+      loop_->schedule_in(cfg_.rtt_prop + d.delay[i], AckArrival{this, ack});
+    }
+    return;
+  }
   loop_->schedule_in(cfg_.rtt_prop, AckArrival{this, ack});
 }
 

@@ -9,7 +9,10 @@
 // is declared lost once three higher sequences have been SACKed and it has
 // been outstanding for at least ~1 RTT, RACK-style), real retransmissions,
 // and an RFC 6298 RTO with exponential backoff.  The single-FIFO topology
-// never reorders, so dupack-based detection is exact.
+// never reorders on its own, so dupack-based detection is exact there; a
+// forward-path ImpairmentStage with reorder enabled (sim/impairment.h) can
+// reorder, in which case the dup threshold causes realistic spurious
+// retransmissions.
 //
 // Window flows (pacing disabled) transmit on ACK arrival — the ACK-clocking
 // property the paper's elasticity detector keys on.  Rate-based flows use a
@@ -86,6 +89,13 @@ class TransportFlow : public CcContext {
   void set_completion_handler(CompletionHandler h) { on_complete_ = std::move(h); }
   void set_rtt_sample_handler(RttSampleHandler h) { on_rtt_sample_ = std::move(h); }
 
+  /// Installs the reverse-path (ACK) impairment stage.  Not owned: the
+  /// Network owns one stage shared by all its flows, modeling a common
+  /// impaired return path.  ACKs it drops simply never arrive (the sender
+  /// recovers via later cumulative ACKs or RTO); duplicated/jittered
+  /// copies arrive at rtt_prop + the stage's per-copy delay.
+  void set_ack_impairment(ImpairmentStage* stage) { ack_impairment_ = stage; }
+
   FlowId id() const { return cfg_.id; }
   const Config& config() const { return cfg_; }
   CcAlgorithm& cc() { return *cc_; }
@@ -149,6 +159,7 @@ class TransportFlow : public CcContext {
 
   EventLoop* loop_;
   BottleneckLink* link_;
+  ImpairmentStage* ack_impairment_ = nullptr;  // owned by the Network
   Config cfg_;
   std::unique_ptr<CcAlgorithm> cc_;
   util::Rng rng_;

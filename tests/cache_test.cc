@@ -65,6 +65,9 @@ TEST(SpecCanonTest, CoverageGuardSizesMatchThisBuild) {
 #if defined(__x86_64__) && defined(__linux__)
   EXPECT_EQ(sizeof(sim::RateStep), kCanonSizeofRateStep);
   EXPECT_EQ(sizeof(sim::PolicerConfig), kCanonSizeofPolicerConfig);
+  EXPECT_EQ(sizeof(sim::Outage), kCanonSizeofOutage);
+  EXPECT_EQ(sizeof(sim::ImpairmentConfig), kCanonSizeofImpairmentConfig);
+  EXPECT_EQ(sizeof(ImpairmentSpec), kCanonSizeofImpairmentSpec);
   EXPECT_EQ(sizeof(core::BasicDelayCore::Params),
             kCanonSizeofBasicDelayParams);
   EXPECT_EQ(sizeof(core::Nimbus::Config), kCanonSizeofNimbusConfig);
@@ -87,9 +90,10 @@ TEST(SpecCanonTest, CanonicalTextNamesEveryTopLevelField) {
   // sizeof guard; spot-check that the canonical text names the fields.
   const std::string text = canonical_spec(small_spec(7));
   for (const char* key :
-       {"scenario-canon/v1", "name=", "mu_bps=", "rtt=", "buffer_bdp=",
+       {"scenario-canon/v2", "name=", "mu_bps=", "rtt=", "buffer_bdp=",
         "buffer_bytes=", "queue=", "pie_target_delay=", "random_loss=",
-        "random_loss_seed=", "policer.", "protagonist.", "cross[0].",
+        "random_loss_seed=", "policer.", "impairment.forward.",
+        "impairment.reverse.", "protagonist.", "cross[0].",
         "cross[1].", "workload_enabled=", "duration=", "seed=",
         "log_copa_mode=", "copa_poll_interval=", "link.",
         "nimbus.fft_duration_sec=", "nimbus.eta_threshold="}) {
@@ -112,8 +116,9 @@ TEST(SpecCanonTest, HashIsStableAcrossCallsAndProcesses) {
   const Hash128 small = spec_hash(small_spec(7));
   EXPECT_EQ(small.hex(), spec_hash(small_spec(7)).hex());
   EXPECT_NE(def.hex(), small.hex());
-  EXPECT_EQ(def.hex(), "5e2fa7ef9a41df4f5a06a6ef7bab9b7f");
-  EXPECT_EQ(small.hex(), "078ae9e86f36e434f63dbd187620d5c3");
+  // Re-pinned for scenario-canon/v2 (impairment block added in PR 8).
+  EXPECT_EQ(def.hex(), "caf903f08d8b8fa6e06c6d52dd0f3949");
+  EXPECT_EQ(small.hex(), "5c34f0e138c42bbfdc703b137f4871ad");
 }
 
 TEST(SpecCanonTest, EveryFieldChangePerturbsTheHash) {
