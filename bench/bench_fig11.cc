@@ -4,9 +4,11 @@
 // Scatter of protagonist throughput vs mean delay per scheme.
 //
 // Declarative form: one ScenarioSpec per (scheme, bitrate) cell with a
-// CrossSpec::kVideo entry, batched through the ParallelRunner.  Verified
-// bit-identical to the imperative make_net / VideoSource version it
-// replaces.
+// CrossSpec::kVideo entry, batched through run_scenarios_cached; collect
+// reduces each run to its (rate, delay) pair (a CellResult, memoised under
+// NIMBUS_CACHE).  Verified bit-identical to the uncached run_scenarios
+// version it replaces, which was itself verified bit-identical to the
+// imperative make_net / VideoSource original.
 #include "common.h"
 
 #include <map>
@@ -55,15 +57,16 @@ int main() {
   }
 
   std::map<std::string, Point> p1080, p4k;
-  exp::run_scenarios<Point>(
+  exp::run_scenarios_cached(
       specs,
       [](const exp::ScenarioSpec& spec, exp::ScenarioRun& run) {
         const auto s = exp::summarize_flow(run.built.net->recorder(), 1,
                                            from_sec(10), spec.duration);
-        return Point{s.mean_rate_mbps, s.mean_rtt_ms};
+        return exp::CellResult::vec({s.mean_rate_mbps, s.mean_rtt_ms});
       },
       {},
-      [&](std::size_t i, Point& p) {
+      [&](std::size_t i, exp::CellResult& r) {
+        Point p{r.values[0], r.values[1]};
         const auto& scheme = schemes[i / 2];
         if (i % 2 == 0) {
           p1080[scheme] = p;

@@ -7,7 +7,9 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-cmake -B build -S .
+# Extra configure flags (CI passes -DNIMBUS_WERROR=ON here).
+# shellcheck disable=SC2086
+cmake -B build -S . ${NIMBUS_CMAKE_ARGS:-}
 cmake --build build -j"${JOBS}"
 (cd build && ctest --output-on-failure -j"${JOBS}")
 

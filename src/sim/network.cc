@@ -46,6 +46,7 @@ TransportFlow* Network::add_flow(TransportFlow::Config cfg,
     recorder_.on_completion(id, when, fct, raw->config().app_bytes);
   });
   flows_.push_back(std::move(flow));
+  if (cfg.id >= flow_index_.size()) flow_index_.resize(cfg.id + 1, nullptr);
   flow_index_[cfg.id] = raw;
   raw->start();
   return raw;
@@ -66,8 +67,7 @@ void Network::add_source(std::unique_ptr<TrafficSource> source) {
 }
 
 TransportFlow* Network::flow_by_id(FlowId id) {
-  const auto it = flow_index_.find(id);
-  return it == flow_index_.end() ? nullptr : it->second;
+  return id < flow_index_.size() ? flow_index_[id] : nullptr;
 }
 
 void Network::run_until(TimeNs t_end) {

@@ -9,7 +9,6 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/cc_interface.h"
@@ -88,7 +87,9 @@ class Network {
   std::unique_ptr<ImpairmentStage> ack_impairment_;
   Recorder recorder_;
   std::vector<std::unique_ptr<TransportFlow>> flows_;
-  std::unordered_map<FlowId, TransportFlow*> flow_index_;
+  /// FlowId-indexed flat lookup (the Recorder idiom): flow ids are small
+  /// and dense, and the per-delivery flow_by_id is on the data path.
+  std::vector<TransportFlow*> flow_index_;
   std::vector<std::unique_ptr<TrafficSource>> sources_;
   FlowId next_id_ = 1;
   bool recorder_attached_ = false;

@@ -17,8 +17,10 @@ void RateSampler::grow() {
   mask_ = nmask;
 }
 
+// NIMBUS_HOT_PATH begin
 void RateSampler::on_ack(TimeNs sent_at, TimeNs acked_at,
                          std::uint32_t bytes) {
+  // detlint:allow(R5): doubling growth, capped at max_history_ slots
   if (next_ >= ring_.size() && ring_.size() < max_history_) grow();
   cum_bytes_ += bytes;
   ring_[next_ & mask_] = {sent_at, acked_at, cum_bytes_};
@@ -52,6 +54,7 @@ RateSampler::Rates RateSampler::rates_over_window(double cwnd_bytes,
       std::max(8.0, cwnd_bytes / static_cast<double>(mss)));
   return rates(window_pkts);
 }
+// NIMBUS_HOT_PATH end
 
 // --- reference (deque) implementation: the PR 2 code, verbatim -----------
 

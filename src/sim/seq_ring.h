@@ -15,6 +15,7 @@
 //   * SeqScoreboard — sliding-window bitset of received-out-of-order
 //     sequences (the receiver's SACK scoreboard; replaces
 //     std::set<uint64_t>).
+// NIMBUS_HOT_PATH file
 #pragma once
 
 #include <cstddef>
@@ -34,6 +35,7 @@ class SeqRing {
   explicit SeqRing(std::size_t initial_capacity = 64) {
     std::size_t cap = 1;
     while (cap < initial_capacity) cap *= 2;
+    // detlint:allow(R5): construction-time presize, not steady-state growth
     slots_.resize(cap);
     mask_ = cap - 1;
   }
@@ -56,6 +58,7 @@ class SeqRing {
   void insert(std::uint64_t seq, T value) {
     std::uint64_t nlo = count_ == 0 ? seq : (seq < lo_ ? seq : lo_);
     std::uint64_t nhi = count_ == 0 ? seq + 1 : (seq + 1 > hi_ ? seq + 1 : hi_);
+    // detlint:allow(R5): doubling growth, amortized away once the window
     if (nhi - nlo > slots_.size()) grow(nhi - nlo);
     Slot& s = slots_[seq & mask_];
     NIMBUS_CHECK_MSG(!s.occupied, "SeqRing double insert");
@@ -158,6 +161,7 @@ class SeqScoreboard {
   explicit SeqScoreboard(std::size_t initial_bits = 1024) {
     std::size_t bits = 64;
     while (bits < initial_bits) bits *= 2;
+    // detlint:allow(R5): construction-time presize, not steady-state growth
     words_.resize(bits / 64, 0);
     bitmask_ = bits - 1;
   }

@@ -29,6 +29,7 @@ SlidingDft::SlidingDft(std::size_t window, std::size_t bin_lo,
   }
 }
 
+// NIMBUS_HOT_PATH begin
 void SlidingDft::add_sample(double x) {
   double oldest = 0.0;
   if (size_ == n_) {
@@ -100,6 +101,7 @@ double SlidingDft::hann_magnitude(std::size_t k) const {
                     0.25 * centered_bin(k + 1);
   return std::abs(c) / static_cast<double>(n_);
 }
+// NIMBUS_HOT_PATH end
 
 void SlidingDft::copy_to(std::vector<double>& out) const {
   out.resize(size_);

@@ -7,6 +7,7 @@
 //
 // Indexing is contiguous-logical: operator[](0) is the front.  Elements
 // must be movable; growth relinearizes into a fresh power-of-two buffer.
+// NIMBUS_HOT_PATH file
 #pragma once
 
 #include <cstddef>
@@ -41,6 +42,7 @@ class RingDeque {
   }
 
   void push_back(T v) {
+    // detlint:allow(R5): doubling growth stops at the high-water mark
     if (size_ == buf_.size()) grow(size_ + 1);
     buf_[(head_ + size_) & mask_] = std::move(v);
     ++size_;
@@ -65,6 +67,7 @@ class RingDeque {
   /// Pre-sizes the ring to at least `n` slots (rounded up to a power of
   /// two); never shrinks.
   void reserve(std::size_t n) {
+    // detlint:allow(R5): presizing is how callers avoid steady-state growth
     if (n > buf_.size()) grow(n);
   }
 

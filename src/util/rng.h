@@ -11,9 +11,15 @@
 namespace nimbus::util {
 
 /// xoshiro256** PRNG with distribution helpers.
+///
+/// There is deliberately no default constructor: every RNG in the tree
+/// takes an explicit seed that flows from a scenario seed via
+/// exp::derive_seed / flow_seed / split(), so no stream can silently
+/// depend on "whatever the default was" (detlint rule R4 enforces the
+/// same invariant for engines this class cannot see).
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+  explicit Rng(std::uint64_t seed);
 
   /// Next raw 64-bit value.
   std::uint64_t next_u64();

@@ -1,0 +1,9 @@
+// A reasonless pragma is itself a finding and suppresses nothing: both the
+// pragma error and the underlying R1 finding must surface.
+#include <chrono>
+
+long long allow_missing_reason() {
+  // detlint:allow(R1)
+  auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}

@@ -1,0 +1,8 @@
+// A reasoned allow pragma suppresses the finding on the next line.
+#include <chrono>
+
+long long allow_ok() {
+  // detlint:allow(R1): fixture — demonstrates a correctly reasoned pragma
+  auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}

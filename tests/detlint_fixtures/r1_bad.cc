@@ -1,0 +1,19 @@
+// R1 positives: every ambient-nondeterminism API the rule guards against.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int r1_bad() {
+  int x = std::rand();                                   // R1: rand()
+  std::time_t t = std::time(nullptr);                    // R1: time()
+  auto wall = std::chrono::system_clock::now();          // R1: *_clock::now()
+  auto mono = std::chrono::steady_clock::now();          // R1: *_clock::now()
+  std::random_device rd;                                 // R1: random_device
+  const char* home = std::getenv("HOME");                // R1: getenv
+  (void)t;
+  (void)wall;
+  (void)mono;
+  (void)home;
+  return x + static_cast<int>(rd());
+}

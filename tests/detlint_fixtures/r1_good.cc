@@ -1,0 +1,13 @@
+// R1 negative: deterministic code — simulated time and seeded randomness.
+#include <cstdint>
+
+struct Rng {
+  explicit Rng(std::uint64_t seed) : s_(seed) {}
+  std::uint64_t next() { return s_ *= 6364136223846793005ull; }
+  std::uint64_t s_;
+};
+
+std::uint64_t r1_good(std::uint64_t now_ns, std::uint64_t seed) {
+  Rng rng(seed);
+  return now_ns + rng.next();
+}

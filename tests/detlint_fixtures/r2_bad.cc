@@ -1,0 +1,14 @@
+// R2 positives: iterating an unordered container (order is
+// hash/address-dependent, so anything accumulated in iteration order is
+// nondeterministic across platforms and runs).
+#include <unordered_map>
+#include <unordered_set>
+
+int r2_bad() {
+  std::unordered_map<int, int> m;
+  std::unordered_set<int> s;
+  int sum = 0;
+  for (const auto& kv : m) sum += kv.second;  // R2: range-for
+  for (auto it = s.begin(); it != s.end(); ++it) sum += *it;  // R2: .begin()
+  return sum;
+}

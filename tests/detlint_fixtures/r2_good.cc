@@ -1,0 +1,15 @@
+// R2 negative: unordered containers used for lookup only, iteration over
+// an ordered vector.
+#include <unordered_map>
+#include <vector>
+
+int r2_good(int key) {
+  std::unordered_map<int, int> m;
+  std::vector<int> v = {1, 2, 3};
+  int sum = 0;
+  auto it = m.find(key);
+  if (it != std::end(m)) sum += it->second;
+  if (m.count(key) != 0) ++sum;
+  for (int x : v) sum += x;
+  return sum;
+}

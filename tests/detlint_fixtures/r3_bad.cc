@@ -1,0 +1,14 @@
+// R3 positives: pointer-keyed ordered containers — the comparison order is
+// the allocator's address order, which varies run to run.
+#include <map>
+#include <set>
+
+struct Flow {};
+
+int r3_bad(Flow* f) {
+  std::map<Flow*, int> bytes_by_flow;   // R3: pointer key
+  std::set<const Flow*> seen;           // R3: pointer key
+  bytes_by_flow[f] = 1;
+  seen.insert(f);
+  return static_cast<int>(seen.size());
+}

@@ -1,0 +1,11 @@
+// R3 negative: id-keyed containers; pointers appear only as mapped values.
+#include <cstdint>
+#include <map>
+
+struct Flow {};
+
+int r3_good(std::uint64_t id, Flow* f) {
+  std::map<std::uint64_t, Flow*> by_id;
+  by_id[id] = f;
+  return static_cast<int>(by_id.size());
+}

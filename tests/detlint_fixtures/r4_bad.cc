@@ -1,0 +1,22 @@
+// R4 positives: std engines (any construction) and default-seeded Rng.
+#include <cstdint>
+#include <random>
+
+struct Rng {
+  Rng() = default;
+  explicit Rng(std::uint64_t seed) : s_(seed) {}
+  std::uint64_t s_ = 0;
+};
+
+int r4_bad() {
+  std::mt19937 gen(42);        // R4: std engine (even when seeded)
+  std::default_random_engine e;  // R4: std engine
+  Rng a = Rng();               // R4: zero-argument construction
+  Rng b = Rng{};               // R4: zero-argument construction
+  Rng local;                   // R4: local declared without a seed
+  (void)e;
+  (void)a;
+  (void)b;
+  (void)local;
+  return static_cast<int>(gen());
+}

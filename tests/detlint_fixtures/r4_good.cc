@@ -1,0 +1,20 @@
+// R4 negative: explicitly seeded Rng; members (trailing underscore) are
+// the compiler's job — util::Rng has no default constructor.
+#include <cstdint>
+
+struct Rng {
+  explicit Rng(std::uint64_t seed) : s_(seed) {}
+  std::uint64_t s_;
+};
+
+struct Workload {
+  explicit Workload(std::uint64_t seed) : rng_(seed) {}
+  Rng rng_;
+};
+
+int r4_good(std::uint64_t seed) {
+  Rng rng(seed);
+  Workload w(seed + 1);
+  (void)w;
+  return static_cast<int>(rng.s_);
+}

@@ -1,0 +1,14 @@
+// R5 positives: allocation inside a NIMBUS_HOT_PATH region.
+#include <memory>
+#include <vector>
+
+// NIMBUS_HOT_PATH begin
+int r5_bad(std::vector<int>& v) {
+  int* p = new int(1);                    // R5: new
+  auto q = std::make_unique<int>(2);      // R5: make_unique
+  v.push_back(*p);                        // R5: container growth
+  v.resize(v.size() + 1);                 // R5: container growth
+  delete p;
+  return *q + static_cast<int>(v.size());
+}
+// NIMBUS_HOT_PATH end

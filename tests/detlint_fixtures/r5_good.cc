@@ -1,0 +1,12 @@
+// R5 negative: the hot region only indexes pre-sized storage; growth
+// happens outside the region (setup), where the rule does not apply.
+#include <vector>
+
+void r5_setup(std::vector<int>& v) { v.resize(1024); }
+
+// NIMBUS_HOT_PATH begin
+int r5_good(std::vector<int>& v, int i) {
+  v[i & 1023] = i;
+  return v[(i + 1) & 1023];
+}
+// NIMBUS_HOT_PATH end

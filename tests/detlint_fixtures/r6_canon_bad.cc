@@ -1,0 +1,10 @@
+// R6 positive pair: serializes rate_mbps and seed but forgets n_flows, so
+// two specs differing only in n_flows would collide in the result cache.
+#include <string>
+
+struct ScenarioSpec;
+
+std::string canonical_spec(double rate_mbps, unsigned long long seed) {
+  return "rate_mbps=" + std::to_string(rate_mbps) +
+         ";seed=" + std::to_string(seed);
+}

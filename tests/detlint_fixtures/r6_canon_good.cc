@@ -1,0 +1,11 @@
+// R6 negative pair: every field of the fixture spec is mentioned.
+#include <string>
+
+struct ScenarioSpec;
+
+std::string canonical_spec(double rate_mbps, unsigned long long seed,
+                           int n_flows) {
+  return "rate_mbps=" + std::to_string(rate_mbps) +
+         ";seed=" + std::to_string(seed) +
+         ";n_flows=" + std::to_string(n_flows);
+}

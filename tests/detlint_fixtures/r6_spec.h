@@ -1,0 +1,11 @@
+// R6 fixture spec: a miniature ScenarioSpec whose fields must all be
+// mentioned in the paired canonicalizer fixture.
+#pragma once
+
+#include <cstdint>
+
+struct ScenarioSpec {
+  double rate_mbps = 0.0;
+  std::uint64_t seed = 1;
+  int n_flows = 1;
+};
