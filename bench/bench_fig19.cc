@@ -58,9 +58,7 @@ int main() {
         // FlowSummary fields this bench consumes.
         const exp::FlowSummary s = exp::summarize_flow(
             run.built.net->recorder(), 1, from_sec(10), spec.duration);
-        return exp::CellResult{{s.mean_rate_mbps, s.mean_rtt_ms},
-                               true,
-                               false};
+        return exp::CellResult::vec({s.mean_rate_mbps, s.mean_rtt_ms});
       },
       {},
       [&](std::size_t i, exp::CellResult& s) {

@@ -21,6 +21,7 @@
 #include <filesystem>
 #include <map>
 #include <set>
+#include <type_traits>
 
 #include "cc/cubic.h"
 #include "cc/reno.h"
@@ -29,6 +30,7 @@
 #include "exp/runner.h"
 #include "exp/scenario.h"
 #include "legacy_event_loop.h"
+#include "obs/metrics.h"
 #include "pr2_event_loop.h"
 #include "sim/event_loop.h"
 #include "sim/network.h"
@@ -178,10 +180,16 @@ void schedule_fire_workload(benchmark::State& state) {
 // hash-map traffic.  This is the headline "events per second" number in
 // BENCH_*.json.  Items = events processed.
 template <typename Loop>
-void steady_state_workload(benchmark::State& state) {
+void steady_state_workload(benchmark::State& state,
+                           obs::MetricsRegistry* metrics = nullptr) {
   constexpr int kActive = 1024;          // concurrent pending events
   constexpr TimeNs kMaxGap = from_ms(2); // uniform delay in [1, 2 ms)
   Loop loop;
+  if constexpr (std::is_same_v<Loop, sim::EventLoop>) {
+    if (metrics != nullptr) loop.attach_metrics(metrics);
+  } else {
+    (void)metrics;  // legacy/PR2 cores predate the registry
+  }
   std::uint64_t count = 0;
   struct Tick {
     Loop* loop;
@@ -219,6 +227,17 @@ void BM_EventLoopSteadyState(benchmark::State& state) {
   steady_state_workload<sim::EventLoop>(state);
 }
 BENCHMARK(BM_EventLoopSteadyState);
+
+// Counters-on twin of BM_EventLoopSteadyState: the same workload with a
+// MetricsRegistry attached, so every fire bumps loop.events_fired and
+// every reschedule a wheel/heap insert counter.  This is the telemetry
+// overhead the PR gate holds to within 10% of the off number
+// (scripts/bench_report.sh: pair floor 0.90).
+void BM_EventLoopSteadyStateCountersOn(benchmark::State& state) {
+  obs::MetricsRegistry metrics;
+  steady_state_workload<sim::EventLoop>(state, &metrics);
+}
+BENCHMARK(BM_EventLoopSteadyStateCountersOn);
 
 void BM_EventLoopSteadyStateLegacy(benchmark::State& state) {
   steady_state_workload<bench::LegacyEventLoop>(state);

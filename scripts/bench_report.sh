@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
-# Perf measurement layer (ISSUE 2, extended in ISSUE 3/4/5/6/7): runs the
-# event-loop, ACK-path, delivery-path, spectral-detector, sweep-cache, and
-# end-to-end microbenchmarks, times the full strict-shape quick bench
-# suite cold (NIMBUS_CACHE=off) and warm (result cache pre-populated), and
-# emits a BENCH_*.json snapshot so every later PR can be compared against
-# this one.
+# Perf measurement layer (ISSUE 2, extended in ISSUE 3/4/5/6/7/10): runs
+# the event-loop, ACK-path, delivery-path, spectral-detector, sweep-cache,
+# telemetry-overhead, and end-to-end microbenchmarks, times the full
+# strict-shape quick bench suite cold (NIMBUS_CACHE=off) and warm (result
+# cache pre-populated), and emits a BENCH_*.json snapshot so every later
+# PR can be compared against this one.
 #
 # Usage: scripts/bench_report.sh [--quick] [--compare BASELINE.json] [output.json]
 #
@@ -22,7 +22,7 @@
 #               host-independent.  Pairs marked gated are the structural
 #               rewrites, whose speedups dwarf measurement noise; parity
 #               pairs are reported but not gated.)
-#   output      defaults to BENCH_PR7.json in the repo root
+#   output      defaults to BENCH_PR10.json in the repo root
 #
 # The "before" numbers come from the same binary: bench_micro runs every
 # workload against a verbatim copy of the previous implementation
@@ -35,7 +35,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK=0
-OUT=BENCH_PR7.json
+OUT=BENCH_PR10.json
 COMPARE=""
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -165,7 +165,7 @@ cubic = by_name.get("BM_SimulatedSecondCubic")
 scenario = by_name.get("BM_SimulatedSecondScenario")
 
 report = {
-    "pr": 7,
+    "pr": 10,
     "generated_by": "scripts/bench_report.sh"
                     + (" --quick" if os.environ["QUICK"] == "1" else ""),
     "host": micro.get("context", {}),
@@ -245,6 +245,16 @@ report = {
         "warm_vs_cold_cell": pair("BM_SweepCellWarmCache",
                                   "BM_SweepCellColdCompute", True, 5.0),
     },
+    # New in PR 10: telemetry overhead.  Counters-on = the identical
+    # steady-state event-loop workload with a MetricsRegistry attached
+    # (every fire bumps loop.events_fired, every reschedule a wheel/heap
+    # insert counter) vs telemetry-off in the same binary and process.
+    # The "speedup" here is counters-on / off: the gate (floor 0.90)
+    # enforces the ISSUE 10 bound that counters cost < 10% events/sec.
+    "obs_microbench": {
+        "counters_on_vs_off": pair("BM_EventLoopSteadyStateCountersOn",
+                                   "BM_EventLoopSteadyState", True),
+    },
     "ack_path_microbench": {
         "outstanding_ring": pair("BM_AckPathOutstandingRing",
                                  "BM_AckPathOutstandingMapLegacy", True),
@@ -313,7 +323,7 @@ def sections(rep):
     for s in ("event_loop_microbench", "event_core_vs_pr2",
               "ack_path_microbench", "delivery_byte_counter",
               "cc_dispatch_measurement", "spectral_microbench",
-              "sweep_cache_microbench"):
+              "sweep_cache_microbench", "obs_microbench"):
         for name, p in rep.get(s, {}).items():
             if isinstance(p, dict) and "after_events_per_sec" in p:
                 yield f"{s}.{name}", p
@@ -325,7 +335,12 @@ bc = report["delivery_byte_counter"]["bucketed_1ms"]
 cc = report["cc_dispatch_measurement"]["sealed_vs_virtual"]
 spec = report["spectral_microbench"]["detector_report_path"]
 sweep = report["sweep_cache_microbench"]["warm_vs_cold_cell"]
+obs = report["obs_microbench"]["counters_on_vs_off"]
 print(f"wrote {out}")
+print(f"telemetry overhead, counters-on vs off events/sec: "
+      f"{obs['before_events_per_sec']:.3g} -> "
+      f"{obs['after_events_per_sec']:.3g} ({obs.get('speedup', '?')}x, "
+      f"gate >= 0.90x)")
 print(f"sweep cells/sec, warm cache vs cold compute: "
       f"{sweep['before_events_per_sec']:.3g} -> "
       f"{sweep['after_events_per_sec']:.3g} ({sweep.get('speedup', '?')}x, "

@@ -99,9 +99,14 @@ DetectorResult evaluate_band(const DetectorConfig& cfg, std::size_t n,
   for (std::size_t k = std::max<std::size_t>(lo, 1); k <= hi; ++k) {
     const double f = bin_freq(k);
     if (f > f_pulse_hz + cfg.tolerance_hz && f < 2.0 * f_pulse_hz) {
-      denom = std::max(denom, mag(k));
+      const double m = mag(k);
+      if (m > denom) {
+        denom = m;
+        r.band_max_bin = k;
+      }
     }
   }
+  r.band_max_magnitude = denom;
 
   r.eta = denom > 0.0 ? num / denom : (num > 0.0 ? 1e9 : 0.0);
   r.elastic = r.eta >= cfg.eta_threshold;

@@ -88,6 +88,11 @@ struct DetectorResult {
   double pulse_magnitude = 0.0;  // |FFT| near f_p (for pulser conflict
                                  // detection and diagnostics)
   bool valid = false;            // window was full
+  /// Argmax of the Eq.-3 denominator: the strongest bin strictly inside
+  /// (f_p + tol, 2 f_p).  Decision traces record it so a surprising eta
+  /// can be attributed to the competing frequency that produced it.
+  std::size_t band_max_bin = 0;
+  double band_max_magnitude = 0.0;
 };
 
 /// The from-scratch spectral pipeline: snapshot the ring, remove the mean,

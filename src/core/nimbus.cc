@@ -196,6 +196,16 @@ void Nimbus::switch_mode(sim::CcContext& ctx, Mode to) {
     vegas_.init(cwnd_pkts);
     copa_.init(cwnd_pkts);
   }
+  if (trace_.active()) {
+    obs::TraceEvent e;
+    e.t = now;
+    e.kind = static_cast<std::uint16_t>(obs::TraceKind::kModeSwitch);
+    e.flow = trace_flow_;
+    e.a = static_cast<std::uint32_t>(to);
+    e.b = static_cast<std::uint32_t>(mode_);
+    e.v0 = last_eta_;
+    trace_.emit(e);
+  }
   mode_ = to;
   const double old_fp = pulse_.frequency_hz();
   pulse_.set_frequency_hz(current_fp());
@@ -236,6 +246,23 @@ void Nimbus::decide_mode_from_detector(sim::CcContext& ctx) {
   } else {
     want = last_eta_ >= cfg_.eta_threshold ? Mode::kCompetitive
                                            : Mode::kDelay;
+  }
+  if (trace_.active()) {
+    obs::TraceEvent e;
+    e.t = ctx.now();
+    e.kind = static_cast<std::uint16_t>(obs::TraceKind::kDetectorDecision);
+    e.flow = trace_flow_;
+    e.a = static_cast<std::uint32_t>(want);
+    e.b = static_cast<std::uint32_t>(result.band_max_bin);
+    e.v0 = last_eta_;
+    e.v1 = last_raw_eta_;
+    // The threshold the verdict was actually held against (0 marks the
+    // z-insignificant early classification, where eta never applied).
+    e.v2 = !z_significant ? 0.0
+           : mode_ == Mode::kCompetitive
+               ? cfg_.eta_threshold / cfg_.exit_hysteresis
+               : cfg_.eta_threshold;
+    trace_.emit(e);
   }
   switch_mode(ctx, want);
 }
@@ -362,6 +389,22 @@ void Nimbus::apply_control(sim::CcContext& ctx,
   double target = base_rate_bps_;
   if (role_ == Role::kPulser && cfg_.enable_pulses && last_mu_ > 0) {
     target += pulse_.offset_bps(report.now, last_mu_);
+    if (trace_.active()) {
+      // Half-period index of the pulse waveform: a transition marks the
+      // boundary between the positive burst and the compensating trough.
+      const int phase = static_cast<int>(to_sec(report.now) *
+                                         pulse_.frequency_hz() * 2.0);
+      if (phase != last_pulse_phase_) {
+        last_pulse_phase_ = phase;
+        obs::TraceEvent e;
+        e.t = report.now;
+        e.kind = static_cast<std::uint16_t>(obs::TraceKind::kPulsePhase);
+        e.flow = trace_flow_;
+        e.a = static_cast<std::uint32_t>(phase);
+        e.v0 = pulse_.frequency_hz();
+        trace_.emit(e);
+      }
+    }
   } else if (role_ == Role::kWatcher && cfg_.multiflow) {
     // Low-pass the send rate below the pulsing frequencies so the pulser
     // never mistakes us for elastic-reacting cross traffic.

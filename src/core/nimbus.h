@@ -39,6 +39,7 @@
 #include "core/elasticity.h"
 #include "core/estimators.h"
 #include "core/pulse.h"
+#include "obs/flight_recorder.h"
 #include "sim/cc_interface.h"
 #include "util/ewma.h"
 #include "util/ring_deque.h"
@@ -146,6 +147,15 @@ class Nimbus final : public sim::CcAlgorithm {
 
   void set_status_handler(StatusHandler h) { on_status_ = std::move(h); }
 
+  /// Arms decision tracing (NIMBUS_OBS=trace): every detector evaluation
+  /// emits a kDetectorDecision record (eta, band-max bin, the threshold in
+  /// effect, the verdict), plus kModeSwitch and kPulsePhase marks.
+  /// `flow_tag` labels the records (protagonist vs cross Nimbus).
+  void set_trace(obs::Trace trace, std::uint16_t flow_tag) {
+    trace_ = trace;
+    trace_flow_ = flow_tag;
+  }
+
   Mode mode() const { return mode_; }
   Role role() const { return role_; }
   double last_eta() const { return last_eta_; }
@@ -213,6 +223,11 @@ class Nimbus final : public sim::CcAlgorithm {
   double last_mu_ = 0.0;
 
   StatusHandler on_status_;
+
+  // Decision tracing (inactive unless set_trace armed it).
+  obs::Trace trace_;
+  std::uint16_t trace_flow_ = 0;
+  int last_pulse_phase_ = -1;  // half-period index; -1 = not yet observed
 };
 
 /// Human-readable labels (bench output).

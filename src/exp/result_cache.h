@@ -37,6 +37,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exp/spec_canon.h"
@@ -66,9 +67,25 @@ struct CellResult {
   bool from_cache = false;
   Fail fail = Fail::kNone;
 
-  static CellResult scalar(double v) { return {{v}, true, false}; }
+  /// Telemetry sidecar (NIMBUS_OBS=counters|trace only; NOT part of the
+  /// disk entry format — cached cells carry no fresh telemetry, and failed
+  /// cells are never stored anyway).  For completed cells this is the
+  /// registry snapshot feeding the sweep manifest; for watchdog-failed
+  /// cells it is the post-mortem: the final counter snapshot plus the last
+  /// flight-recorder events, so a TIMEOUT/EVENT-BUDGET cell is diagnosable
+  /// without re-running it instrumented.
+  std::vector<std::pair<std::string, double>> obs_counters;
+  std::vector<std::string> obs_trace_tail;
+
+  static CellResult scalar(double v) {
+    CellResult r;
+    r.values = {v};
+    return r;
+  }
   static CellResult vec(std::vector<double> v) {
-    return {std::move(v), true, false};
+    CellResult r;
+    r.values = std::move(v);
+    return r;
   }
   static CellResult failed(Fail reason) {
     CellResult r;

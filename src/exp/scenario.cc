@@ -1,11 +1,15 @@
 #include "exp/scenario.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "cc/const_window.h"
 #include "cc/copa.h"
 #include "cc/cubic.h"
 #include "exp/schemes.h"
+#include "exp/spec_canon.h"
 #include "sim/pie.h"
 #include "traffic/raw_sources.h"
 #include "traffic/video_source.h"
@@ -355,6 +359,7 @@ void add_cross_entry(const ScenarioSpec& spec, const CrossSpec& c,
         const sim::FlowId id = resolve_id();
         auto algo = std::make_unique<core::Nimbus>(c.nimbus);
         out.nimbus_cross.push_back(algo.get());
+        out.nimbus_cross_ids.push_back(id);
         sim::TransportFlow::Config fc;
         fc.id = id;
         fc.rtt_prop = rtt;
@@ -430,11 +435,97 @@ BuiltScenario build_network(const ScenarioSpec& spec) {
   return out;
 }
 
+obs::Mode obs_mode_from_env() {
+  // detlint:allow(R1): exp-layer telemetry config; never feeds sim state
+  const char* v = std::getenv("NIMBUS_OBS");
+  if (v == nullptr || v[0] == '\0' || std::strcmp(v, "off") == 0) {
+    return obs::Mode::kOff;
+  }
+  if (std::strcmp(v, "counters") == 0) return obs::Mode::kCounters;
+  if (std::strcmp(v, "trace") == 0) return obs::Mode::kTrace;
+  NIMBUS_CHECK_MSG(false, "NIMBUS_OBS must be off|counters|trace");
+  return obs::Mode::kOff;
+}
+
+std::string obs_dir_from_env() {
+  // detlint:allow(R1): exp-layer telemetry config; never feeds sim state
+  const char* v = std::getenv("NIMBUS_OBS_DIR");
+  return v != nullptr ? v : "";
+}
+
+std::size_t obs_ring_capacity_from_env() {
+  // detlint:allow(R1): exp-layer telemetry config; never feeds sim state
+  const char* v = std::getenv("NIMBUS_OBS_RING");
+  if (v == nullptr || v[0] == '\0') {
+    return obs::FlightRecorder::kDefaultCapacity;
+  }
+  const long n = std::strtol(v, nullptr, 10);
+  NIMBUS_CHECK_MSG(n > 0, "NIMBUS_OBS_RING must be a positive integer");
+  return static_cast<std::size_t>(n);
+}
+
+std::string obs_artifact_stem(const ScenarioSpec& spec) {
+  std::string name = spec.name.empty() ? "scenario" : spec.name;
+  for (char& ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '-' || ch == '.';
+    if (!ok) ch = '_';
+  }
+  Hash128 h;
+  if (spec_cacheable(spec)) {
+    h = spec_hash(spec);
+  } else {
+    std::string key = spec.name;
+    key += '\0';
+    key.append(reinterpret_cast<const char*>(&spec.seed), sizeof(spec.seed));
+    h = fnv128(key);
+  }
+  char suffix[64];
+  std::snprintf(suffix, sizeof(suffix), "-%016llx-s%llu",
+                static_cast<unsigned long long>(h.hi),
+                static_cast<unsigned long long>(spec.seed));
+  return name + suffix;
+}
+
+std::string export_trace_artifacts(const ScenarioSpec& spec,
+                                   const ScenarioRun& run,
+                                   const std::string& dir) {
+  if (run.telemetry == nullptr || !run.telemetry->trace_on() || dir.empty()) {
+    return "";
+  }
+  const std::string stem = dir + "/" + obs_artifact_stem(spec);
+  const std::string json_path = stem + ".trace.json";
+  std::FILE* jf = std::fopen(json_path.c_str(), "w");
+  NIMBUS_CHECK_MSG(jf != nullptr, "cannot open NIMBUS_OBS_DIR trace file");
+  run.telemetry->recorder.write_chrome_trace(jf);
+  std::fclose(jf);
+  std::FILE* cf = std::fopen((stem + ".trace.csv").c_str(), "w");
+  NIMBUS_CHECK_MSG(cf != nullptr, "cannot open NIMBUS_OBS_DIR trace file");
+  run.telemetry->recorder.write_csv(cf);
+  std::fclose(cf);
+  return json_path;
+}
+
 ScenarioRun run_scenario(const ScenarioSpec& spec,
                          const ScenarioSetup& setup,
                          const RunBudget& budget) {
   ScenarioRun run;
+  const obs::Mode obs_mode = obs_mode_from_env();
   run.built = build_network(spec);
+  if (obs_mode != obs::Mode::kOff) {
+    run.telemetry = std::make_unique<obs::Telemetry>(
+        obs_mode, obs_ring_capacity_from_env());
+    run.built.net->attach_telemetry(run.telemetry.get());
+    const obs::Trace tr = run.telemetry->trace();
+    if (run.built.nimbus != nullptr) {
+      run.built.nimbus->set_trace(
+          tr, static_cast<std::uint16_t>(spec.protagonist.id));
+    }
+    for (std::size_t i = 0; i < run.built.nimbus_cross.size(); ++i) {
+      run.built.nimbus_cross[i]->set_trace(
+          tr, static_cast<std::uint16_t>(run.built.nimbus_cross_ids[i]));
+    }
+  }
   if (spec.log_copa_mode) {
     NIMBUS_CHECK_MSG(run.built.protagonist != nullptr,
                      "log_copa_mode needs a protagonist flow");
@@ -461,6 +552,7 @@ ScenarioRun run_scenario(const ScenarioSpec& spec,
                                          budget.max_wall_seconds);
   }
   run.built.net->run_until(spec.duration);
+  export_trace_artifacts(spec, run, obs_dir_from_env());
   return run;
 }
 

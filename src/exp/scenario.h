@@ -23,6 +23,7 @@
 
 #include "core/nimbus.h"
 #include "exp/ground_truth.h"
+#include "obs/telemetry.h"
 #include "sim/link.h"
 #include "sim/network.h"
 #include "traffic/flow_workload.h"
@@ -275,6 +276,9 @@ struct BuiltScenario {
   /// kNimbus cross entries, in spec order (multi-flow experiments probe
   /// roles/modes across all flows).
   std::vector<core::Nimbus*> nimbus_cross;
+  /// Flow ids of the kNimbus cross entries, parallel to nimbus_cross
+  /// (decision-trace records are tagged with them).
+  std::vector<sim::FlowId> nimbus_cross_ids;
   std::unique_ptr<traffic::FlowWorkload> workload;  // null unless enabled
 
   sim::Network& network() { return *net; }
@@ -313,6 +317,11 @@ struct ScenarioRun {
   std::unique_ptr<util::TimeSeries> eta_raw_log;
   std::unique_ptr<util::TimeSeries> z_log;
 
+  /// Per-run telemetry (NIMBUS_OBS=counters|trace); null when off.  Never
+  /// written to stdout: trace files go to NIMBUS_OBS_DIR, counter roll-ups
+  /// to CellResult/manifests.
+  std::unique_ptr<obs::Telemetry> telemetry;
+
   /// Why the run stopped early, if a RunBudget tripped (kNone otherwise).
   sim::EventLoop::BudgetStop budget_stop() const {
     return built.net->loop().budget_stop();
@@ -340,6 +349,37 @@ struct RunBudget {
 ScenarioRun run_scenario(const ScenarioSpec& spec,
                          const ScenarioSetup& setup = nullptr,
                          const RunBudget& budget = {});
+
+// ---------------------------------------------------------------------------
+// Telemetry configuration (NIMBUS_OBS).  Env parsing lives in the exp
+// layer — the one place getenv is detlint R1-legal — and is read per call
+// so tests can flip modes with setenv.  src/obs itself never reads the
+// environment.
+// ---------------------------------------------------------------------------
+
+/// NIMBUS_OBS: "off"/"" (default), "counters", "trace".  Unknown values
+/// CHECK-fail rather than silently dropping telemetry.
+obs::Mode obs_mode_from_env();
+
+/// NIMBUS_OBS_DIR: directory for trace/manifest artifacts ("" = none).
+std::string obs_dir_from_env();
+
+/// NIMBUS_OBS_RING: flight-recorder capacity override (default 16384).
+std::size_t obs_ring_capacity_from_env();
+
+/// Deterministic artifact stem for one (spec, seed) cell:
+/// "<sanitized-name>-<hash16>-s<seed>" — the hash is spec_hash for
+/// cacheable specs, an FNV of name+seed otherwise, so parallel sweeps
+/// never collide on file names.
+std::string obs_artifact_stem(const ScenarioSpec& spec);
+
+/// Writes run.telemetry's flight recorder to
+/// `<dir>/<stem>.trace.json` (Chrome trace-event / Perfetto) and
+/// `<dir>/<stem>.trace.csv`.  No-op when telemetry or dir is absent.
+/// Returns the JSON path ("" when skipped).
+std::string export_trace_artifacts(const ScenarioSpec& spec,
+                                   const ScenarioRun& run,
+                                   const std::string& dir);
 
 // ---------------------------------------------------------------------------
 // Canned experiments.

@@ -1,0 +1,90 @@
+#include "obs/flight_recorder.h"
+
+namespace nimbus::obs {
+namespace {
+
+// JSON has no inf/nan literals; clamp to large-magnitude sentinels so the
+// artifact always parses (eta is 1e9 when the denominator band is empty).
+double json_safe(double x) {
+  if (x != x) return 0.0;
+  if (x > 1e300) return 1e300;
+  if (x < -1e300) return -1e300;
+  return x;
+}
+
+}  // namespace
+
+const char* trace_kind_name(TraceKind k) {
+  switch (k) {
+    case TraceKind::kModeSwitch:
+      return "mode_switch";
+    case TraceKind::kDetectorDecision:
+      return "detector_decision";
+    case TraceKind::kPulsePhase:
+      return "pulse_phase";
+    case TraceKind::kLossEpisode:
+      return "loss_episode";
+    case TraceKind::kBlackoutBegin:
+      return "blackout_begin";
+    case TraceKind::kBlackoutEnd:
+      return "blackout_end";
+    case TraceKind::kCwndCollapse:
+      return "cwnd_collapse";
+    case TraceKind::kMuChange:
+      return "mu_change";
+    case TraceKind::kRtoFired:
+      return "rto_fired";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+std::vector<TraceEvent> FlightRecorder::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  std::size_t start = size_ == ring_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::write_chrome_trace(std::FILE* f) const {
+  std::fputs("{\"traceEvents\":[", f);
+  bool first = true;
+  for (const TraceEvent& e : snapshot()) {
+    TraceKind k = static_cast<TraceKind>(e.kind);
+    // Chrome trace timestamps are microseconds.
+    double ts_us = static_cast<double>(e.t) / 1e3;
+    if (!first) std::fputc(',', f);
+    first = false;
+    std::fprintf(f,
+                 "{\"name\":\"%s\",\"ph\":\"I\",\"s\":\"t\",\"ts\":%.3f,"
+                 "\"pid\":1,\"tid\":%u,\"args\":{\"a\":%u,\"b\":%u,"
+                 "\"v0\":%.17g,\"v1\":%.17g,\"v2\":%.17g}}",
+                 trace_kind_name(k), ts_us, e.flow + 1u, e.a, e.b,
+                 json_safe(e.v0), json_safe(e.v1), json_safe(e.v2));
+    if (k == TraceKind::kDetectorDecision) {
+      // Counter track: Perfetto renders eta as a continuous timeline.
+      std::fprintf(f,
+                   ",{\"name\":\"eta\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,"
+                   "\"args\":{\"eta\":%.17g}}",
+                   ts_us, json_safe(e.v0));
+    }
+  }
+  std::fputs("]}\n", f);
+}
+
+void FlightRecorder::write_csv(std::FILE* f) const {
+  std::fputs("t_ns,kind,flow,a,b,v0,v1,v2\n", f);
+  for (const TraceEvent& e : snapshot()) {
+    std::fprintf(f, "%lld,%s,%u,%u,%u,%.17g,%.17g,%.17g\n",
+                 static_cast<long long>(e.t),
+                 trace_kind_name(static_cast<TraceKind>(e.kind)), e.flow, e.a,
+                 e.b, e.v0, e.v1, e.v2);
+  }
+}
+
+}  // namespace nimbus::obs

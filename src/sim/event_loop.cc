@@ -27,6 +27,7 @@ void EventLoop::fire_slot(Slot& slot, std::uint64_t id, TimeNs t) {
   slot.extracted = false;
   --live_;
   ++processed_;
+  obs_fired_.inc();
   // In-place invocation: chunked slots have stable addresses, so the
   // callback may grow the pools or the queue freely while running.  The
   // slot is not on the free list yet, so nothing can re-occupy it.
@@ -60,6 +61,7 @@ void EventLoop::wheel_insert(TimeNs t, std::uint64_t id,
   bucket_head_[b] = n;
   occ_[b >> 6] |= std::uint64_t{1} << (b & 63);
   ++wheel_count_;
+  obs_wheel_inserts_.inc();
 }
 
 void EventLoop::enqueue_entry(TimeNs t, std::uint64_t id) {
@@ -139,6 +141,7 @@ void EventLoop::pull_far_into_window() {
 }
 
 void EventLoop::heap_push(Entry e) {
+  obs_heap_inserts_.inc();
   // Hole-based sift-up: shift parents down and place the new entry once.
   heap_.push_back(e);
   std::size_t hole = heap_.size() - 1;
@@ -357,6 +360,8 @@ void EventLoop::run_until(TimeNs t_end) {
           cur = next;
         }
         std::sort(batch_.begin(), batch_.end());
+        // +1: the run's first event fired through the fast path above.
+        obs_batch_size_.observe(batch_.size() + 1);
       }
 
       for (std::size_t i = 0; i < batch_.size(); ++i) {
@@ -390,6 +395,20 @@ void EventLoop::run_until(TimeNs t_end) {
 // NIMBUS_HOT_PATH end
 
 void EventLoop::run() { run_until(std::numeric_limits<TimeNs>::max()); }
+
+void EventLoop::attach_metrics(obs::MetricsRegistry* m) {
+  if (m == nullptr) {
+    obs_fired_ = {};
+    obs_wheel_inserts_ = {};
+    obs_heap_inserts_ = {};
+    obs_batch_size_ = {};
+    return;
+  }
+  obs_fired_ = m->counter("loop.events_fired");
+  obs_wheel_inserts_ = m->counter("loop.wheel_inserts");
+  obs_heap_inserts_ = m->counter("loop.far_heap_inserts");
+  obs_batch_size_ = m->histogram("loop.batch_size");
+}
 
 void Timer::arm(TimeNs at, EventLoop::Callback cb) {
   cb_ = std::move(cb);

@@ -47,6 +47,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/time.h"
 
@@ -211,6 +212,12 @@ class EventLoop {
   void set_run_budget(std::uint64_t max_events, double max_wall_seconds);
   BudgetStop budget_stop() const { return budget_stop_; }
 
+  /// Registers the loop's instruments in `m` (NIMBUS_OBS counters layer):
+  /// loop.events_fired, loop.wheel_inserts, loop.far_heap_inserts, and the
+  /// loop.batch_size histogram of equal-time drain-batch sizes.  Call at
+  /// setup time; pass nullptr to detach (handles become no-ops again).
+  void attach_metrics(obs::MetricsRegistry* m);
+
   TimeNs now() const { return now_; }
   std::size_t pending_events() const { return live_; }
   std::uint64_t processed_events() const { return processed_; }
@@ -342,6 +349,13 @@ class EventLoop {
   bool budget_wall_armed_ = false;
   std::chrono::steady_clock::time_point budget_wall_deadline_{};
   BudgetStop budget_stop_ = BudgetStop::kNone;
+
+  // Telemetry handles (null when NIMBUS_OBS is off: each update is then a
+  // single predictable branch — the cost the bench_micro obs pair gates).
+  obs::Counter obs_fired_;
+  obs::Counter obs_wheel_inserts_;
+  obs::Counter obs_heap_inserts_;
+  obs::Histogram obs_batch_size_;
 };
 
 /// A single rearmable timer (e.g. an RTO).  Re-arming cancels the previous

@@ -68,7 +68,17 @@ bool ImpairmentStage::in_blackout(TimeNs now) {
 ImpairmentStage::Decision ImpairmentStage::on_packet(TimeNs now) {
   ++offered_;
   Decision d;
-  if (in_blackout(now)) {
+  const bool dark = in_blackout(now);
+  if (obs_trace_.active() && dark != was_blackout_) {
+    obs::TraceEvent e;
+    e.t = now;
+    e.kind = static_cast<std::uint16_t>(dark ? obs::TraceKind::kBlackoutBegin
+                                             : obs::TraceKind::kBlackoutEnd);
+    e.a = obs_tag_;
+    obs_trace_.emit(e);
+  }
+  was_blackout_ = dark;
+  if (dark) {
     ++blackout_dropped_;
     d.copies = 0;
     return d;

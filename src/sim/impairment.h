@@ -47,6 +47,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "util/rng.h"
 #include "util/time.h"
 
@@ -114,6 +115,15 @@ class ImpairmentStage {
 
   const ImpairmentConfig& config() const { return cfg_; }
 
+  /// Arms kBlackoutBegin/kBlackoutEnd trace events (`tag` distinguishes
+  /// the data stage from the ACK stage).  Episodes are observed through
+  /// the offered-packet stream: "begin" marks the first packet a blackout
+  /// swallows, "end" the first packet through after it lifts.
+  void set_trace(obs::Trace trace, std::uint32_t tag) {
+    obs_trace_ = trace;
+    obs_tag_ = tag;
+  }
+
   // --- statistics ---
   std::uint64_t offered() const { return offered_; }
   std::uint64_t lost() const { return lost_; }  // GE losses only
@@ -138,6 +148,10 @@ class ImpairmentStage {
   std::uint64_t blackout_dropped_ = 0;
   std::uint64_t duplicated_ = 0;
   std::uint64_t reordered_ = 0;
+
+  obs::Trace obs_trace_;
+  std::uint32_t obs_tag_ = 0;
+  bool was_blackout_ = false;
 };
 
 }  // namespace nimbus::sim

@@ -51,9 +51,12 @@ bool BottleneckLink::policer_admits(const Packet& p) {
 }
 
 void BottleneckLink::enqueue(Packet p) {
+  obs_enqueues_.inc();
   if (impairment_ != nullptr) {
+    obs_impairment_decisions_.inc();
     const ImpairmentStage::Decision d = impairment_->on_packet(loop_->now());
     if (d.copies == 0) {
+      obs_drop_impairment_.inc();
       drop(p);
       return;
     }
@@ -71,15 +74,18 @@ void BottleneckLink::enqueue(Packet p) {
 
 void BottleneckLink::admit(Packet p) {
   if (loss_prob_ > 0.0 && loss_rng_.bernoulli(loss_prob_)) {
+    obs_drop_random_.inc();
     drop(p);
     return;
   }
   if (!policer_admits(p)) {
+    obs_drop_policer_.inc();
     drop(p);
     return;
   }
   p.enqueued_at = loop_->now();
   if (!qdisc_->enqueue(p, loop_->now())) {
+    obs_drop_queue_.inc();
     drop(p);
     return;
   }
@@ -148,6 +154,15 @@ void BottleneckLink::on_schedule_tick() {
 
 void BottleneckLink::apply_rate_change(double new_rate_bps) {
   NIMBUS_CHECK(new_rate_bps > 0);
+  obs_mu_changes_.inc();
+  if (obs_trace_.active()) {
+    obs::TraceEvent e;
+    e.t = loop_->now();
+    e.kind = static_cast<std::uint16_t>(obs::TraceKind::kMuChange);
+    e.v0 = new_rate_bps;
+    e.v1 = rate_bps_;
+    obs_trace_.emit(e);
+  }
   if (busy_) {
     // Retire the bytes serialized at the old rate since the last
     // checkpoint, then retime the in-flight TxDone so the residual bytes
@@ -166,6 +181,19 @@ void BottleneckLink::apply_rate_change(double new_rate_bps) {
     tx_done_id_ = loop_->reschedule(tx_done_id_, tx_done_time_);
   }
   rate_bps_ = new_rate_bps;
+}
+
+void BottleneckLink::attach_telemetry(obs::MetricsRegistry* m,
+                                      obs::Trace trace) {
+  obs_trace_ = trace;
+  if (m == nullptr) return;
+  obs_enqueues_ = m->counter("link.enqueues");
+  obs_impairment_decisions_ = m->counter("link.impairment_decisions");
+  obs_drop_impairment_ = m->counter("link.drops.impairment");
+  obs_drop_random_ = m->counter("link.drops.random_loss");
+  obs_drop_policer_ = m->counter("link.drops.policer");
+  obs_drop_queue_ = m->counter("link.drops.queue");
+  obs_mu_changes_ = m->counter("link.mu_changes");
 }
 
 TimeNs BottleneckLink::current_queue_delay() const {

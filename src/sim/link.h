@@ -15,6 +15,8 @@
 #include <functional>
 #include <memory>
 
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "sim/event_loop.h"
 #include "sim/impairment.h"
 #include "sim/link_schedule.h"
@@ -62,6 +64,7 @@ class BottleneckLink {
   /// pre-impairment link.  Call once, before traffic starts.
   void set_impairment(std::unique_ptr<ImpairmentStage> stage);
   const ImpairmentStage* impairment() const { return impairment_.get(); }
+  ImpairmentStage* impairment() { return impairment_.get(); }
 
   /// Offers a packet to the link.
   void enqueue(Packet p);
@@ -79,6 +82,11 @@ class BottleneckLink {
   /// leaves the transmit path bit-identical to the plain fixed-rate link.
   void set_schedule(std::unique_ptr<RateSchedule> schedule);
   const RateSchedule* schedule() const { return schedule_.get(); }
+
+  /// Registers the link's instruments in `m` (enqueues, per-cause drops,
+  /// impairment decisions, mu(t) changes) and arms kMuChange trace events
+  /// on `trace`.  Call at setup time; either argument may be null/inactive.
+  void attach_telemetry(obs::MetricsRegistry* m, obs::Trace trace);
 
   const QueueDisc& qdisc() const { return *qdisc_; }
 
@@ -159,6 +167,16 @@ class BottleneckLink {
   std::int64_t delivered_bytes_ = 0;
   std::uint64_t delivered_packets_ = 0;
   std::uint64_t dropped_packets_ = 0;
+
+  // Telemetry handles; null/inactive (no-op) unless attach_telemetry ran.
+  obs::Counter obs_enqueues_;
+  obs::Counter obs_impairment_decisions_;
+  obs::Counter obs_drop_impairment_;
+  obs::Counter obs_drop_random_;
+  obs::Counter obs_drop_policer_;
+  obs::Counter obs_drop_queue_;
+  obs::Counter obs_mu_changes_;
+  obs::Trace obs_trace_;
 };
 
 }  // namespace nimbus::sim

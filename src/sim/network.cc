@@ -36,6 +36,7 @@ TransportFlow* Network::add_flow(TransportFlow::Config cfg,
       std::make_unique<TransportFlow>(&loop_, link_.get(), cfg, std::move(cc));
   TransportFlow* raw = flow.get();
   if (ack_impairment_ != nullptr) raw->set_ack_impairment(ack_impairment_.get());
+  raw->set_obs(transport_obs_);  // FlowWorkload adds flows mid-run, too
   // Direct pointer into the recorder's stable per-flow series: the per-ACK
   // hot path records an RTT sample without any id lookup.
   util::TimeSeries* rtt_series = recorder_.rtt_series(cfg.id);
@@ -59,6 +60,19 @@ void Network::set_ack_impairment(std::unique_ptr<ImpairmentStage> stage) {
                    "install the ACK impairment before adding flows");
   NIMBUS_CHECK(stage != nullptr);
   ack_impairment_ = std::move(stage);
+}
+
+void Network::attach_telemetry(obs::Telemetry* t) {
+  obs::MetricsRegistry* m = t != nullptr ? &t->metrics : nullptr;
+  const obs::Trace trace = t != nullptr ? t->trace() : obs::Trace{};
+  loop_.attach_metrics(m);
+  link_->attach_telemetry(m, trace);
+  if (link_->impairment() != nullptr) {
+    link_->impairment()->set_trace(trace, /*tag=*/0);
+  }
+  if (ack_impairment_ != nullptr) ack_impairment_->set_trace(trace, /*tag=*/1);
+  transport_obs_ = TransportObs::registered(m, trace);
+  for (auto& f : flows_) f->set_obs(transport_obs_);
 }
 
 void Network::add_source(std::unique_ptr<TrafficSource> source) {

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/telemetry.h"
 #include "sim/cc_interface.h"
 #include "sim/event_loop.h"
 #include "sim/link.h"
@@ -62,6 +63,13 @@ class Network {
     return ack_impairment_.get();
   }
 
+  /// Wires telemetry through the assembly: event-loop counters, link
+  /// counters + mu(t) trace, one shared TransportObs for every flow
+  /// (including flows added later, mid-run), and blackout tracing on the
+  /// impairment stages.  Call at setup time, after any impairment stages
+  /// are installed; `t` must outlive the Network.  nullptr detaches.
+  void attach_telemetry(obs::Telemetry* t);
+
   /// Allocates a fresh flow id (for sources constructed by the caller).
   FlowId next_flow_id() { return next_id_++; }
 
@@ -93,6 +101,8 @@ class Network {
   std::vector<std::unique_ptr<TrafficSource>> sources_;
   FlowId next_id_ = 1;
   bool recorder_attached_ = false;
+  // Shared handles copied into every flow; re-derived by attach_telemetry.
+  TransportObs transport_obs_;
 };
 
 }  // namespace nimbus::sim

@@ -13,6 +13,19 @@ constexpr std::int64_t kBackloggedBytes =
     std::numeric_limits<std::int64_t>::max() / 2;
 }  // namespace
 
+TransportObs TransportObs::registered(obs::MetricsRegistry* m,
+                                      obs::Trace trace) {
+  TransportObs o;
+  o.trace = trace;
+  if (m != nullptr) {
+    o.acks = m->counter("transport.acks");
+    o.retransmits = m->counter("transport.retransmits");
+    o.rto_backoffs = m->counter("transport.rto_backoffs");
+    o.spurious_rx = m->counter("transport.spurious_rx");
+  }
+  return o;
+}
+
 TransportFlow::TransportFlow(EventLoop* loop, BottleneckLink* link,
                              Config config, std::unique_ptr<CcAlgorithm> cc)
     : loop_(loop),
@@ -53,7 +66,18 @@ void TransportFlow::begin() {
 TimeNs TransportFlow::now() const { return loop_->now(); }
 
 void TransportFlow::set_cwnd_bytes(double bytes) {
+  const double old = cwnd_bytes_;
   cwnd_bytes_ = std::max<double>(bytes, cfg_.mss);
+  // A halving-or-worse in one set is a collapse worth a timeline mark.
+  if (obs_.trace.active() && started_ && cwnd_bytes_ <= old * 0.5) {
+    obs::TraceEvent e;
+    e.t = loop_->now();
+    e.kind = static_cast<std::uint16_t>(obs::TraceKind::kCwndCollapse);
+    e.flow = static_cast<std::uint16_t>(cfg_.id);
+    e.v0 = cwnd_bytes_;
+    e.v1 = old;
+    obs_.trace.emit(e);
+  }
 }
 
 void TransportFlow::set_pacing_rate_bps(double bps) {
@@ -132,6 +156,7 @@ void TransportFlow::send_one() {
 
   outstanding_.insert(seq, {p.sent_at, retransmit});
   ++sent_packets_total_;
+  if (retransmit) obs_.retransmits.inc();
   if (!rto_timer_.armed()) arm_or_cancel_rto();
   link_->enqueue(p);
 }
@@ -148,8 +173,12 @@ void TransportFlow::on_link_delivery(const Packet& p, TimeNs /*dequeue_done*/) {
     }
   } else if (p.seq > rcv_next_) {
     out_of_order_.ensure_span(rcv_next_, p.seq);
+    if (out_of_order_.test(p.seq)) obs_.spurious_rx.inc();
     out_of_order_.set(p.seq);
-  }  // p.seq < rcv_next_: duplicate (spurious retransmission), ignore.
+  } else {
+    // p.seq < rcv_next_: duplicate (spurious retransmission), ignore.
+    obs_.spurious_rx.inc();
+  }
 
   Ack ack;
   ack.flow_id = cfg_.id;
@@ -172,6 +201,7 @@ void TransportFlow::on_link_delivery(const Packet& p, TimeNs /*dequeue_done*/) {
 
 void TransportFlow::handle_ack(const Ack& ack) {
   if (completed_) return;
+  obs_.acks.inc();
   const TimeNs t = loop_->now();
   latest_rtt_ = t - ack.data_sent_at;
   update_rtt(latest_rtt_);
@@ -251,6 +281,15 @@ void TransportFlow::declare_lost(std::uint64_t seq) {
   loss.lost_bytes = cfg_.mss;
   loss.new_congestion_event = seq >= loss_event_end_;
   if (loss.new_congestion_event) loss_event_end_ = snd_nxt_;
+  if (loss.new_congestion_event && obs_.trace.active()) {
+    obs::TraceEvent e;
+    e.t = loss.now;
+    e.kind = static_cast<std::uint16_t>(obs::TraceKind::kLossEpisode);
+    e.flow = static_cast<std::uint16_t>(cfg_.id);
+    e.a = static_cast<std::uint32_t>(seq);
+    e.v0 = cwnd_bytes_;
+    obs_.trace.emit(e);
+  }
   cc_->on_loss(*this, loss);
 }
 
@@ -286,6 +325,15 @@ void TransportFlow::on_rto_fired() {
   if (completed_ || outstanding_.empty()) return;
   ++rto_count_;
   rto_backoff_ = std::min(rto_backoff_ + 1, 6);
+  obs_.rto_backoffs.inc();
+  if (obs_.trace.active()) {
+    obs::TraceEvent e;
+    e.t = loop_->now();
+    e.kind = static_cast<std::uint16_t>(obs::TraceKind::kRtoFired);
+    e.flow = static_cast<std::uint16_t>(cfg_.id);
+    e.a = static_cast<std::uint32_t>(rto_backoff_);
+    obs_.trace.emit(e);
+  }
 
   // The whole outstanding window is presumed lost; go-back-N style recovery
   // with the congestion controller reset to one packet by on_rto().

@@ -36,6 +36,8 @@
 #include <memory>
 #include <vector>
 
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "sim/cc_interface.h"
 #include "sim/event_loop.h"
 #include "sim/link.h"
@@ -46,6 +48,20 @@
 #include "util/rng.h"
 
 namespace nimbus::sim {
+
+/// Transport telemetry handles, shared by every flow in a Network (the
+/// registry slots are per-scenario aggregates; the trace ring tags events
+/// with the flow id).  Copy-by-value: four pointers and a trace handle.
+struct TransportObs {
+  obs::Counter acks;           // ACKs processed by senders
+  obs::Counter retransmits;    // retransmitted data packets sent
+  obs::Counter rto_backoffs;   // RTO firings (backoff escalations)
+  obs::Counter spurious_rx;    // receiver-side duplicate data arrivals
+                               // (reorder-triggered spurious retx signal)
+  obs::Trace trace;
+
+  static TransportObs registered(obs::MetricsRegistry* m, obs::Trace trace);
+};
 
 class TransportFlow : public CcContext {
  public:
@@ -95,6 +111,10 @@ class TransportFlow : public CcContext {
   /// recovers via later cumulative ACKs or RTO); duplicated/jittered
   /// copies arrive at rtt_prop + the stage's per-copy delay.
   void set_ack_impairment(ImpairmentStage* stage) { ack_impairment_ = stage; }
+
+  /// Installs telemetry handles (registered once by the Network and shared
+  /// by all its flows).  Call at setup time; default handles are no-ops.
+  void set_obs(const TransportObs& o) { obs_ = o; }
 
   FlowId id() const { return cfg_.id; }
   const Config& config() const { return cfg_; }
@@ -217,6 +237,8 @@ class TransportFlow : public CcContext {
 
   CompletionHandler on_complete_;
   RttSampleHandler on_rtt_sample_;
+
+  TransportObs obs_;
 };
 
 }  // namespace nimbus::sim

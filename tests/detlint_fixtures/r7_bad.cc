@@ -1,0 +1,19 @@
+// R7 fixture: stdout writes from library (src/) scope.  Every one of
+// these would corrupt the byte-identical golden of whichever bench ran
+// this code.  Lint with --scope src.
+#include <cstdio>
+#include <iostream>
+
+namespace fixture {
+
+void report(int n, const char* label, const char* buf, unsigned len) {
+  printf("n=%d\n", n);                  // implicit stdout
+  puts(label);                          // implicit stdout
+  putchar('\n');                        // implicit stdout
+  std::cout << "n=" << n << "\n";       // stream to stdout
+  std::fprintf(stdout, "n=%d\n", n);    // explicit stdout stream
+  fputs(label, stdout);                 // explicit stdout stream
+  fwrite(buf, 1, len, stdout);          // explicit stdout stream
+}
+
+}  // namespace fixture

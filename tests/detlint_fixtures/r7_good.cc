@@ -1,0 +1,17 @@
+// R7 fixture: the sanctioned output channels for library (src/) scope —
+// stderr diagnostics, buffer formatting, and explicit FILE* artifacts
+// (the caller decides where those point; the obs exporters receive an
+// opened NIMBUS_OBS_DIR file, never stdout).  Lint with --scope src.
+#include <cstdio>
+
+namespace fixture {
+
+void report(int n, const char* label, std::FILE* artifact) {
+  std::fprintf(stderr, "WARNING: n=%d\n", n);  // diagnostics: stderr is fine
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "n=%d", n);  // buffer, not a stream
+  std::fputs(label, stderr);
+  std::fprintf(artifact, "%s\n", buf);         // caller-owned artifact file
+}
+
+}  // namespace fixture

@@ -139,6 +139,30 @@ TEST(DetlintTest, R6PassesFullCoverage) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
+TEST(DetlintTest, R7FlagsStdoutWritesInSrcScope) {
+  LintRun r = run_detlint("--scope src " + fixture("r7_bad.cc"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_GE(count_of(r.output, "[R7]"), 7u) << r.output;
+  EXPECT_NE(r.output.find("'printf()'"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("'puts()'"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("std::cout"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("'fwrite(..., stdout)'"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("'fprintf(..., stdout)'"), std::string::npos)
+      << r.output;
+}
+
+TEST(DetlintTest, R7PassesStderrAndBufferFormatting) {
+  LintRun r = run_detlint("--scope src " + fixture("r7_good.cc"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(DetlintTest, R7IgnoresBenchAndTestScope) {
+  // Benches print goldens to stdout by design; R7 is src/-only.
+  LintRun r = run_detlint("--scope bench " + fixture("r7_bad.cc"));
+  EXPECT_EQ(r.output.find("[R7]"), std::string::npos) << r.output;
+}
+
 TEST(DetlintTest, ReasonedAllowPragmaSuppresses) {
   LintRun r = run_detlint("--scope src " + fixture("allow_ok.cc"));
   EXPECT_EQ(r.exit_code, 0) << r.output;

@@ -49,6 +49,13 @@
 //       by name in src/exp/spec_canon.cc.  The sizeof guard there catches
 //       size changes; this catches same-size field swaps and renames that
 //       would silently decouple the spec hash from behaviour.
+//   R7  stdout purity in src/: every bench golden is a byte-diff of
+//       stdout, so library code must never write there.  printf/vprintf/
+//       puts/putchar calls, std::cout/wcout, and stdio calls passed the
+//       `stdout` stream (fprintf/fputs/fputc/fwrite/putc/vfprintf) are
+//       findings.  stderr is fine (diagnostics), snprintf is fine
+//       (buffers).  src/exp/summary.cc is exempt: it IS the sanctioned
+//       stdout path every bench prints through.
 //
 // Output is stable: findings sorted by (file, line, rule, message), one per
 // line, `path:line: [Rk] message`.  Exit 0 iff no unsuppressed finding.
@@ -86,7 +93,7 @@ struct Tok {
 };
 
 struct AllowPragma {
-  std::set<std::string> rules;  // "R1".."R6", or "*"
+  std::set<std::string> rules;  // "R1".."R7", or "*"
   bool has_reason = false;
 };
 
@@ -407,7 +414,7 @@ class Linter {
   Linter(FileScan scan, std::string scope)
       : f_(std::move(scan)), scope_(std::move(scope)) {}
 
-  std::vector<Finding> run(bool r1, bool r2) {
+  std::vector<Finding> run(bool r1, bool r2, bool r7) {
     for (std::size_t i = 0; i < f_.pragma_errors.size(); ++i) {
       add(f_.pragma_error_lines[i], "pragma", f_.pragma_errors[i]);
     }
@@ -416,6 +423,7 @@ class Linter {
     rule3();
     rule4();
     rule5();
+    if (r7) rule7();
     return std::move(out_);
   }
 
@@ -653,6 +661,55 @@ class Linter {
                 "()' in a NIMBUS_HOT_PATH region — growth allocates; "
                 "presize outside the region (or allow with the reason "
                 "the call cannot reallocate here)");
+      }
+    }
+  }
+
+  // R7: stdout purity in src/.  Goldens are stdout byte-diffs; any stray
+  // library write corrupts every one of them at once.
+  void rule7() {
+    static const std::set<std::string> kImplicitStdout = {
+        "printf", "vprintf", "puts", "putchar"};
+    static const std::set<std::string> kStreamArg = {
+        "fprintf", "vfprintf", "fputs", "fputc", "fwrite", "putc"};
+    for (std::size_t i = 0; i < f_.toks.size(); ++i) {
+      const Tok& t = f_.toks[i];
+      if (t.kind != Tok::kIdent) continue;
+      if ((t.text == "cout" || t.text == "wcout") &&
+          (i == 0 || tok(i - 1).text != ".")) {
+        add(t.line, "R7",
+            "std::" + t.text +
+                " in src/ — goldens are stdout byte-diffs; write "
+                "diagnostics to stderr, telemetry to NIMBUS_OBS_DIR");
+        continue;
+      }
+      if (!is(i + 1, "(")) continue;
+      if (kImplicitStdout.count(t.text)) {
+        add(t.line, "R7",
+            "'" + t.text +
+                "()' writes stdout from src/ — goldens are stdout "
+                "byte-diffs; use fprintf(stderr, ...) or an obs artifact");
+        continue;
+      }
+      if (kStreamArg.count(t.text)) {
+        // Scan the argument list (bounded, paren-balanced) for `stdout`.
+        int depth = 0;
+        for (std::size_t j = i + 1; j < f_.toks.size() && j < i + 256; ++j) {
+          const std::string& s = f_.toks[j].text;
+          if (f_.toks[j].kind == Tok::kPunct) {
+            if (s == "(") ++depth;
+            if (s == ")" && --depth == 0) break;
+            if (s == ";") break;
+            continue;
+          }
+          if (s == "stdout") {
+            add(t.line, "R7",
+                "'" + t.text +
+                    "(..., stdout)' in src/ — goldens are stdout "
+                    "byte-diffs; only exp/summary.cc may print there");
+            break;
+          }
+        }
       }
     }
   }
@@ -911,10 +968,13 @@ int main(int argc, char** argv) {
         forced_scope.empty() ? scope_of(scan->rel) : forced_scope;
     const bool r1 = scope == "src";
     const bool r2 = scope == "src";
+    // R7 exempts the one sanctioned stdout writer (exp/summary.cc is the
+    // layer every bench prints its golden rows through).
+    const bool r7 = scope == "src" && !ends_with(scan->rel, "exp/summary.cc");
     if (path == r6_spec) spec_scan = scan;
     if (path == r6_canon) canon_scan = scan;
     Linter linter(*scan, scope);
-    std::vector<Finding> fs = linter.run(r1, r2);
+    std::vector<Finding> fs = linter.run(r1, r2, r7);
     // Apply allow pragmas: a pragma on line L (with a reason) suppresses
     // same-rule findings on L and L+1.
     for (Finding& f : fs) {
